@@ -1,0 +1,127 @@
+//! Components and their resource requests.
+
+use bass_util::units::{MemoryMb, Millicores};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a component within one application DAG.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ComponentId(pub u32);
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for ComponentId {
+    fn from(v: u32) -> Self {
+        ComponentId(v)
+    }
+}
+
+/// CPU and memory a component requests (hard constraints for placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceReq {
+    /// Requested CPU.
+    pub cpu: Millicores,
+    /// Requested memory.
+    pub memory: MemoryMb,
+}
+
+impl ResourceReq {
+    /// Creates a request.
+    pub fn new(cpu: Millicores, memory: MemoryMb) -> Self {
+        ResourceReq { cpu, memory }
+    }
+
+    /// Convenience: whole cores + MB.
+    pub fn cores_mb(cores: u64, mb: u64) -> Self {
+        ResourceReq {
+            cpu: Millicores::from_cores(cores),
+            memory: MemoryMb::from_mb(mb),
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(self, other: ResourceReq) -> ResourceReq {
+        ResourceReq {
+            cpu: self.cpu + other.cpu,
+            memory: self.memory + other.memory,
+        }
+    }
+
+    /// True when `self` fits within `capacity`.
+    pub fn fits_within(self, capacity: ResourceReq) -> bool {
+        self.cpu <= capacity.cpu && self.memory <= capacity.memory
+    }
+}
+
+impl fmt::Display for ResourceReq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu={} mem={}", self.cpu, self.memory)
+    }
+}
+
+/// One application component: a deployable unit (a pod, in k3s terms).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Component {
+    /// Identifier within the application DAG.
+    pub id: ComponentId,
+    /// Human-readable name (e.g. `"frame-sampler"`).
+    pub name: String,
+    /// Requested resources.
+    pub resources: ResourceReq,
+}
+
+impl Component {
+    /// Creates a component.
+    pub fn new(id: ComponentId, name: impl Into<String>, resources: ResourceReq) -> Self {
+        Component {
+            id,
+            name: name.into(),
+            resources,
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}, {})", self.name, self.id, self.resources)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_arithmetic() {
+        let a = ResourceReq::cores_mb(2, 512);
+        let b = ResourceReq::cores_mb(1, 256);
+        let sum = a.plus(b);
+        assert_eq!(sum.cpu, Millicores::from_cores(3));
+        assert_eq!(sum.memory, MemoryMb::from_mb(768));
+    }
+
+    #[test]
+    fn fits_within_checks_both_axes() {
+        let cap = ResourceReq::cores_mb(4, 1024);
+        assert!(ResourceReq::cores_mb(4, 1024).fits_within(cap));
+        assert!(!ResourceReq::cores_mb(5, 1).fits_within(cap));
+        assert!(!ResourceReq::cores_mb(1, 2048).fits_within(cap));
+        assert!(ResourceReq::default().fits_within(cap));
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = Component::new(ComponentId(3), "detector", ResourceReq::cores_mb(8, 4096));
+        let s = c.to_string();
+        assert!(s.contains("detector"));
+        assert!(s.contains("c3"));
+        assert!(s.contains("8000m"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Application component DAGs with resource and bandwidth requirements.
+//!
+//! BASS models an application as a directed acyclic graph of components.
+//! Vertices carry CPU/memory requirements (hard constraints); edges carry
+//! the maximum bandwidth requirement between two components, gathered
+//! through offline profiling and declared in the deployment manifest
+//! (paper §5).
+//!
+//! - [`component`]: components and their resource requests.
+//! - [`dag`]: the [`dag::AppDag`] graph with topological sorting and
+//!   validation.
+//! - [`manifest`]: serializable deployment manifests (the JSON equivalent
+//!   of the paper's k8s deployment files with bandwidth metadata).
+//! - [`catalog`]: ready-made graphs — the Fig. 6 example and the three
+//!   evaluation applications (camera pipeline, video conferencing,
+//!   DeathStarBench-like social network).
+
+pub mod catalog;
+pub mod component;
+pub mod dag;
+pub mod manifest;
+
+pub use component::{Component, ComponentId, ResourceReq};
+pub use dag::{AppDag, DagError};
+pub use manifest::Manifest;

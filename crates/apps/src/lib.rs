@@ -1,0 +1,27 @@
+//! Workload models for the paper's three evaluation applications
+//! (§6.1), driving a [`bass_emu::SimEnv`]:
+//!
+//! - [`videoconf`]: a Pion-like SFU — one server component forwarding
+//!   each participant's stream to every other participant; per-client
+//!   bitrate and loss come from the client flows' fair shares.
+//! - [`camera`]: the ffmpeg → sampler → YOLO pipeline — per-frame
+//!   end-to-end latency as stage service times plus inter-stage
+//!   transfer delays.
+//! - [`socialnet`]: the DeathStarBench-like social network — open-loop
+//!   request mix (compose / read-home / read-user) whose latency is the
+//!   sum of per-RPC service and transfer times; constant or exponential
+//!   arrivals.
+//! - [`arrival`]: arrival processes shared by the workloads.
+//! - [`testbeds`]: ready-made mesh + cluster environments (the
+//!   microbenchmark LAN and the CityLab 5-node emulation).
+
+pub mod arrival;
+pub mod camera;
+pub mod socialnet;
+pub mod testbeds;
+pub mod videoconf;
+
+pub use arrival::ArrivalProcess;
+pub use camera::CameraWorkload;
+pub use socialnet::SocialNetWorkload;
+pub use videoconf::{VideoConfConfig, VideoConfWorkload};

@@ -1,0 +1,123 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - BFS frontier weighting: edge weight (Fig. 6-consistent) vs the
+//!   pseudocode's cumulative path weight — measures cost and, via the
+//!   summary printed by the `experiments` binary, placement quality.
+//! - Hybrid heuristic vs its two parents on a mixed-shape DAG.
+//! - Migration candidate selection (Algorithm 3) on the social DAG.
+
+use bass_appdag::{catalog, Component, ComponentId, ResourceReq};
+use bass_appdag::AppDag;
+use bass_core::heuristics::{breadth_first, hybrid, longest_path, BfsWeighting};
+use bass_core::migration::{find_candidates, MigrationConfig};
+use bass_core::placement::pack_ordering;
+use bass_cluster::{Cluster, NodeSpec};
+use bass_mesh::{Mesh, Topology};
+use bass_netmon::GoodputMonitor;
+use bass_util::time::{SimDuration, SimTime};
+use bass_util::units::Bandwidth;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30)
+}
+use std::hint::black_box;
+
+/// A mixed DAG: a high-fan-out star feeding a deep pipeline.
+fn mixed_dag() -> AppDag {
+    let mut dag = AppDag::new("mixed");
+    for i in 1..=16u32 {
+        dag.add_component(Component::new(
+            ComponentId(i),
+            format!("c{i}"),
+            ResourceReq::cores_mb(1, 128),
+        ))
+        .expect("fresh");
+    }
+    // Star: 1 → 2..8.
+    for i in 2..=8u32 {
+        dag.add_edge(ComponentId(1), ComponentId(i), Bandwidth::from_mbps(9.0 - i as f64 * 0.5))
+            .expect("valid");
+    }
+    // Pipeline: 9 → 10 → … → 16.
+    for i in 9..=15u32 {
+        dag.add_edge(ComponentId(i), ComponentId(i + 1), Bandwidth::from_mbps(4.0))
+            .expect("valid");
+    }
+    // Bridge star to pipeline.
+    dag.add_edge(ComponentId(5), ComponentId(9), Bandwidth::from_mbps(1.0))
+        .expect("valid");
+    dag
+}
+
+fn bench_heuristic_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic_variants");
+    let dag = mixed_dag();
+    group.bench_function("bfs_edge_weight", |b| {
+        b.iter(|| breadth_first(black_box(&dag), BfsWeighting::EdgeWeight).expect("valid"))
+    });
+    group.bench_function("bfs_cumulative", |b| {
+        b.iter(|| breadth_first(black_box(&dag), BfsWeighting::CumulativePath).expect("valid"))
+    });
+    group.bench_function("longest_path", |b| {
+        b.iter(|| longest_path(black_box(&dag)).expect("valid"))
+    });
+    group.bench_function("hybrid", |b| {
+        b.iter(|| hybrid(black_box(&dag), 3).expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let dag = catalog::social_network(50.0);
+    let ordering = longest_path(&dag).expect("valid");
+    let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(4), Bandwidth::from_mbps(100.0))
+        .expect("connected");
+    c.bench_function("pack_social_27", |b| {
+        b.iter(|| {
+            let mut cluster =
+                Cluster::new((0..4).map(|i| NodeSpec::cores_mb(i, 16, 16_384))).expect("unique");
+            pack_ordering(black_box(&ordering), &dag, &mut cluster, &mesh).expect("fits")
+        })
+    });
+}
+
+fn bench_candidate_selection(c: &mut Criterion) {
+    let dag = catalog::social_network(400.0);
+    let mut mesh = Mesh::with_uniform_capacity(Topology::full_mesh(4), Bandwidth::from_mbps(50.0))
+        .expect("connected");
+    let mut cluster =
+        Cluster::new((0..4).map(|i| NodeSpec::cores_mb(i, 16, 16_384))).expect("unique");
+    let ordering = longest_path(&dag).expect("valid");
+    pack_ordering(&ordering, &dag, &mut cluster, &mesh).expect("fits");
+    let placement = cluster.placement();
+    let mut goodput = GoodputMonitor::new();
+    for e in dag.edges() {
+        goodput.record(e.from, e.to, e.bandwidth, e.bandwidth.scale(0.4), SimTime::ZERO);
+    }
+    mesh.advance(SimDuration::from_millis(100));
+    let cfg = MigrationConfig::default();
+    c.bench_function("algorithm3_social_27", |b| {
+        b.iter(|| {
+            find_candidates(
+                black_box(&dag),
+                &placement,
+                &goodput,
+                &mesh,
+                &cfg,
+                &Default::default(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_heuristic_variants, bench_pack, bench_candidate_selection
+}
+criterion_main!(benches);

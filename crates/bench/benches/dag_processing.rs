@@ -1,0 +1,42 @@
+//! Table 4 (criterion form): DAG processing time — topological sort plus
+//! both ordering heuristics — per application.
+
+use bass_appdag::catalog;
+use bass_core::heuristics::{breadth_first, longest_path, BfsWeighting};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30)
+}
+use std::hint::black_box;
+
+fn bench_dag_processing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_processing");
+    for (app, dag) in [
+        ("social-27comp", catalog::social_network(50.0)),
+        ("videoconf-1comp", catalog::video_conference()),
+        ("camera-5comp", catalog::camera_pipeline()),
+    ] {
+        group.bench_function(format!("{app}/topo_sort"), |b| {
+            b.iter(|| black_box(&dag).topo_sort().expect("acyclic"))
+        });
+        group.bench_function(format!("{app}/bfs"), |b| {
+            b.iter(|| breadth_first(black_box(&dag), BfsWeighting::EdgeWeight).expect("valid"))
+        });
+        group.bench_function(format!("{app}/longest_path"), |b| {
+            b.iter(|| longest_path(black_box(&dag)).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_dag_processing
+}
+criterion_main!(benches);

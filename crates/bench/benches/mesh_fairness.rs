@@ -1,0 +1,69 @@
+//! Scaling of the max-min fairness computation and of a full mesh step —
+//! the per-tick cost that bounds the emulator's speed.
+
+use bass_mesh::flow::{max_min_allocate, Constraint};
+use bass_mesh::{Mesh, NodeId, Topology};
+use bass_util::rng::SimRng;
+use bass_util::time::SimDuration;
+use bass_util::units::Bandwidth;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30)
+}
+use std::hint::black_box;
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_min_allocate");
+    for &flows in &[8usize, 32, 128] {
+        let mut rng = SimRng::seed_from_u64(1);
+        let demands: Vec<Bandwidth> = (0..flows)
+            .map(|_| Bandwidth::from_mbps(rng.uniform(0.5, 40.0)))
+            .collect();
+        // Each of 12 links is crossed by a random third of the flows.
+        let constraints: Vec<Constraint> = (0..12)
+            .map(|_| Constraint {
+                capacity: Bandwidth::from_mbps(rng.uniform(5.0, 100.0)),
+                members: (0..flows).filter(|_| rng.chance(0.33)).collect(),
+            })
+            .collect();
+        group.bench_function(format!("{flows}_flows"), |b| {
+            b.iter(|| max_min_allocate(black_box(&demands), black_box(&constraints)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesh_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_step");
+    for &n in &[5u32, 10, 20] {
+        let topo = Topology::full_mesh(n);
+        let mut mesh =
+            Mesh::with_uniform_capacity(topo, Bandwidth::from_mbps(50.0)).expect("connected");
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..(n * 3) {
+            let a = NodeId(rng.below(n as u64) as u32);
+            let b = NodeId(((a.0 as u64 + 1 + rng.below(n as u64 - 1)) % n as u64) as u32);
+            mesh.add_flow(a, b, Bandwidth::from_mbps(rng.uniform(0.5, 20.0)))
+                .expect("valid endpoints");
+        }
+        group.bench_function(format!("{n}_nodes"), |b| {
+            b.iter(|| {
+                mesh.advance(SimDuration::from_millis(100));
+                black_box(mesh.now())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_allocation, bench_mesh_step
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table 3 (criterion form): per-application scheduling latency of the
+//! k3s baseline vs the BASS schedulers.
+
+use bass_appdag::catalog;
+use bass_apps::testbeds::lan_testbed;
+use bass_cluster::BaselinePolicy;
+use bass_core::heuristics::BfsWeighting;
+use bass_core::{BassScheduler, SchedulerPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30)
+}
+use std::hint::black_box;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_latency");
+    for (app, dag) in [
+        ("social", catalog::social_network(50.0)),
+        ("videoconf", catalog::video_conference()),
+        ("camera", catalog::camera_pipeline()),
+    ] {
+        for (name, policy) in [
+            ("k3s", SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated)),
+            ("bass-lp", SchedulerPolicy::LongestPath),
+            ("bass-bfs", SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
+        ] {
+            group.bench_function(format!("{app}/{name}"), |b| {
+                b.iter(|| {
+                    let (mesh, mut cluster) = lan_testbed(4, 16);
+                    let placement = BassScheduler::new(policy)
+                        .schedule(black_box(&dag), &mut cluster, &mesh)
+                        .expect("feasible");
+                    black_box(placement)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_scheduling
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] [--out DIR] [id...]
+//! ```
+//!
+//! With no ids, every experiment runs in paper order. Each report is
+//! printed to stdout and written as JSON under `--out` (default
+//! `results/`).
+
+use bass_bench::experiments::{run, ALL_IDS};
+use bass_bench::RunMode;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut mode = RunMode::Full;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => mode = RunMode::Quick,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: experiments [--quick] [--out DIR] [id...]");
+                println!("experiments: {}", ALL_IDS.join(" "));
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match run(id, mode) {
+            Some(report) => {
+                println!("{report}");
+                println!(
+                    "({} completed in {:.1}s)\n",
+                    id,
+                    started.elapsed().as_secs_f64()
+                );
+                let path = out_dir.join(format!("{id}.json"));
+                match serde_json::to_string_pretty(&report) {
+                    Ok(json) => {
+                        if let Err(e) = std::fs::write(&path, json) {
+                            eprintln!("cannot write {}: {e}", path.display());
+                            failed = true;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("cannot serialize {id}: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (known: {})", ALL_IDS.join(", "));
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,99 @@
+//! Fig. 15(b): per-node client bitrate for the video conference on the
+//! CityLab trace, without migration and with migration at 65%/85%
+//! link-utilization thresholds.
+//!
+//! Paper: migrating at the 65% threshold improves the median bitrate of
+//! the affected participants — node 1 from 1.4 to 1.6 Mbps, node 2 from
+//! 240 to 480 Kbps — with no improvement at the two other nodes.
+
+use crate::experiments::common::{videoconf_citylab, Knobs};
+use crate::{ExperimentReport, Row, RunMode};
+use bass_util::stats::Percentiles;
+use bass_util::time::SimDuration;
+
+/// Runs the experiment.
+pub fn run(mode: RunMode) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig15",
+        "videoconf per-node median bitrate on CityLab, by migration threshold",
+        "migration at 65% improves the disadvantaged nodes' medians (~2× for the worst node); others unchanged",
+    );
+    let duration = SimDuration::from_secs(mode.secs(600));
+
+    for (label, migrations, threshold) in [
+        ("no migration", false, 0.65),
+        ("migrate@65%", true, 0.65),
+        ("migrate@85%", true, 0.85),
+    ] {
+        let knobs = Knobs {
+            migrations,
+            utilization_threshold: threshold,
+            ..Knobs::default()
+        };
+        // The paper deploys the Pion server "on one of the 4 worker
+        // nodes" (unspecified); the Fig. 15b bitrates imply a node that
+        // disadvantages workers 1–2. We start it on worker 3 and let the
+        // controller move it.
+        let (wl, mut env) = videoconf_citylab(
+            &knobs,
+            1500,
+            duration + SimDuration::from_secs(120),
+            Some(bass_mesh::NodeId(3)),
+        );
+        let mut rec = bass_emu::Recorder::new();
+        env.run_for(duration, |e| {
+            if e.now().as_micros() % 1_000_000 == 0 {
+                wl.observe(e, &mut rec);
+            }
+        })
+        .expect("run completes");
+        let mut row = Row::new(label);
+        for n in 1..=4u32 {
+            let samples = rec.samples(&format!("bitrate_kbps_samples@n{n}"));
+            let median = Percentiles::from_samples(samples).median();
+            row = row.with(format!("median_kbps@n{n}"), median);
+        }
+        row = row.with("migrations", env.stats().migrations.len() as f64);
+        report.push_row(row);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migration_helps_the_disadvantaged_nodes() {
+        let rep = run(RunMode::Quick);
+        let median = |row: &str, n: u32| {
+            rep.row(row)
+                .unwrap()
+                .value(&format!("median_kbps@n{n}"))
+                .unwrap()
+        };
+        // Migrations occur at the 65% threshold.
+        assert!(
+            rep.row("migrate@65%").unwrap().value("migrations").unwrap() >= 1.0,
+            "SFU should migrate under the trace"
+        );
+        // Some node improves measurably (the paper's ~2× for node 2);
+        // and the best node's bitrate does not collapse.
+        let improvements: Vec<f64> = (1..=4)
+            .map(|n| median("migrate@65%", n) / median("no migration", n).max(1.0))
+            .collect();
+        let best = improvements.iter().cloned().fold(0.0f64, f64::max);
+        assert!(best > 1.2, "best improvement {best:?} ({improvements:?})");
+    }
+
+    #[test]
+    fn all_nodes_receive_nonzero_bitrate() {
+        let rep = run(RunMode::Quick);
+        for row in &rep.rows {
+            for n in 1..=4u32 {
+                let v = row.value(&format!("median_kbps@n{n}")).unwrap();
+                assert!(v > 0.0, "{} node {n}: {v}", row.label);
+            }
+        }
+    }
+}

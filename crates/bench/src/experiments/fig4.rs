@@ -1,0 +1,94 @@
+//! Fig. 4: per-client bitrate and packet loss vs participant count for
+//! the video conference when the server's link is capped at 30 Mbps.
+//!
+//! Paper: bitrate worsens and packet loss rises significantly when
+//! participants exceed ~10 on the bottleneck link.
+
+use crate::experiments::common::{videoconf_lan, Knobs};
+use crate::{ExperimentReport, Row, RunMode};
+use bass_apps::videoconf::{ClientGroup, SFU_ID};
+use bass_apps::VideoConfConfig;
+use bass_mesh::NodeId;
+use bass_util::time::SimDuration;
+use bass_util::units::Bandwidth;
+
+/// Runs the experiment.
+pub fn run(mode: RunMode) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig4",
+        "videoconf per-client bitrate & loss vs participants (30 Mbps bottleneck)",
+        "loss appears and bitrate degrades beyond ~10 participants at 300 Kbps streams",
+    );
+    let settle = SimDuration::from_secs(mode.secs(30).min(30));
+    let mut crossover: Option<usize> = None;
+
+    for participants in [2usize, 4, 6, 8, 10, 12, 16, 20, 24, 30] {
+        let cfg = VideoConfConfig {
+            groups: vec![ClientGroup {
+                node: NodeId(0),
+                clients: participants,
+                publishers: participants,
+            }],
+            stream_kbps: 300.0,
+        };
+        let knobs = Knobs { migrations: false, ..Knobs::default() };
+        let (wl, mut env) = videoconf_lan(cfg, 2, &knobs);
+        let sfu_node = env.placement()[&SFU_ID];
+        env.mesh_mut()
+            .set_node_egress_cap(sfu_node, Some(Bandwidth::from_mbps(30.0)))
+            .expect("node exists");
+        env.run_for(settle, |_| {}).expect("run completes");
+        let bitrate = wl.client_bitrate_kbps(&env, NodeId(0));
+        let loss = wl.client_loss(&env, NodeId(0));
+        let target = (participants.saturating_sub(1)) as f64 * 300.0;
+        report.push_row(
+            Row::new(format!("{participants} participants"))
+                .with("bitrate_kbps", bitrate)
+                .with("target_kbps", target)
+                .with("loss_fraction", loss),
+        );
+        if crossover.is_none() && loss > 0.05 {
+            crossover = Some(participants);
+        }
+    }
+    if let Some(n) = crossover {
+        report.note(format!("loss first exceeds 5% at {n} participants (paper: beyond ~10)"));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_near_ten_participants() {
+        let rep = run(RunMode::Quick);
+        let loss_at = |label: &str| rep.row(label).unwrap().value("loss_fraction").unwrap();
+        assert!(loss_at("4 participants") < 0.01);
+        assert!(loss_at("30 participants") > 0.5);
+        // Crossover in the paper's regime (8..16).
+        let note = rep.notes.iter().find(|n| n.contains("loss first")).unwrap();
+        let n: usize = note
+            .split("at ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((8..=16).contains(&n), "crossover at {n}");
+    }
+
+    #[test]
+    fn bitrate_fraction_declines_monotonically_past_crossover() {
+        let rep = run(RunMode::Quick);
+        let frac = |label: &str| {
+            let r = rep.row(label).unwrap();
+            r.value("bitrate_kbps").unwrap() / r.value("target_kbps").unwrap()
+        };
+        assert!(frac("12 participants") > frac("20 participants"));
+        assert!(frac("20 participants") > frac("30 participants"));
+    }
+}

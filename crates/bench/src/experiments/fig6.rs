@@ -1,0 +1,80 @@
+//! Fig. 6: component orderings and placements of the example DAG under
+//! the two heuristics, assuming 4-core nodes and 1-core components.
+//!
+//! Paper: BFS orders `1,3,2,4,5,7,6`; longest-path orders
+//! `1,2,4,5,7,3,6`; BFS packs `{1,3,2,4} | {5,7,6}` and longest-path
+//! packs `{1,2,4,5} | {7,3,6}`.
+
+use crate::{ExperimentReport, Row, RunMode};
+use bass_appdag::catalog;
+use bass_cluster::{Cluster, NodeSpec};
+use bass_core::heuristics::{breadth_first, longest_path, BfsWeighting};
+use bass_core::placement::pack_ordering;
+use bass_mesh::{Mesh, Topology};
+use bass_util::units::Bandwidth;
+
+/// Runs the experiment.
+pub fn run(_mode: RunMode) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig6",
+        "example DAG: orderings and placements by heuristic",
+        "BFS order 1,3,2,4,5,7,6 → nodes {1,3,2,4}|{5,7,6}; LP order 1,2,4,5,7,3,6 → {1,2,4,5}|{7,3,6}",
+    );
+    let dag = catalog::fig6_example();
+    let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(2), Bandwidth::from_mbps(100.0))
+        .expect("connected");
+
+    for (label, ordering) in [
+        (
+            "bfs",
+            breadth_first(&dag, BfsWeighting::EdgeWeight).expect("valid DAG"),
+        ),
+        ("longest-path", longest_path(&dag).expect("valid DAG")),
+    ] {
+        let order_str: Vec<String> = ordering.flatten().iter().map(|c| c.0.to_string()).collect();
+        let mut cluster =
+            Cluster::new((0..2).map(|i| NodeSpec::cores_mb(i, 4, 4096))).expect("unique nodes");
+        let placement =
+            pack_ordering(&ordering, &dag, &mut cluster, &mesh).expect("fits on two nodes");
+        let mut row = Row::new(label);
+        for c in dag.component_ids() {
+            row = row.with(format!("node(comp{})", c.0), placement[&c].0 as f64);
+        }
+        report.push_row(row);
+        report.note(format!("{label} order: {}", order_str.join(",")));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_exactly() {
+        let rep = run(RunMode::Quick);
+        assert!(rep.notes.iter().any(|n| n.contains("1,3,2,4,5,7,6")));
+        assert!(rep.notes.iter().any(|n| n.contains("1,2,4,5,7,3,6")));
+        let bfs = rep.row("bfs").unwrap();
+        // {1,3,2,4} on one node, {5,7,6} on the other.
+        let n1 = bfs.value("node(comp1)").unwrap();
+        for c in [2, 3, 4] {
+            assert_eq!(bfs.value(&format!("node(comp{c})")).unwrap(), n1);
+        }
+        let n5 = bfs.value("node(comp5)").unwrap();
+        assert_ne!(n5, n1);
+        for c in [6, 7] {
+            assert_eq!(bfs.value(&format!("node(comp{c})")).unwrap(), n5);
+        }
+        let lp = rep.row("longest-path").unwrap();
+        let m1 = lp.value("node(comp1)").unwrap();
+        for c in [2, 4, 5] {
+            assert_eq!(lp.value(&format!("node(comp{c})")).unwrap(), m1);
+        }
+        let m7 = lp.value("node(comp7)").unwrap();
+        assert_ne!(m7, m1);
+        for c in [3, 6] {
+            assert_eq!(lp.value(&format!("node(comp{c})")).unwrap(), m7);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! One module per paper artifact. See `DESIGN.md`'s experiment index.
+
+pub mod common;
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14a;
+pub mod fig14b;
+pub mod fig14cd;
+pub mod fig15;
+pub mod fig16;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod tab1;
+pub mod tab2;
+pub mod tab3;
+pub mod tab4;
+
+use crate::{ExperimentReport, RunMode};
+
+/// Every experiment id, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "fig2", "fig4", "fig5", "fig6", "fig8", "fig10", "fig11", "fig12", "fig13", "tab1", "tab2",
+    "fig14a", "fig14b", "fig14cd", "fig15", "fig16", "tab3", "tab4",
+    // Extensions beyond the paper's artifacts:
+    "ablation",
+];
+
+/// Runs one experiment by id.
+///
+/// Returns `None` for unknown ids.
+pub fn run(id: &str, mode: RunMode) -> Option<ExperimentReport> {
+    let report = match id {
+        "fig2" => fig2::run(mode),
+        "fig4" => fig4::run(mode),
+        "fig5" => fig5::run(mode),
+        "fig6" => fig6::run(mode),
+        "fig8" => fig8::run(mode),
+        "fig10" => fig10::run(mode),
+        "fig11" => fig11::run(mode),
+        "fig12" => fig12::run(mode),
+        "fig13" => fig13::run(mode),
+        "tab1" => tab1::run(mode),
+        "tab2" => tab2::run(mode),
+        "fig14a" => fig14a::run(mode),
+        "fig14b" => fig14b::run(mode),
+        "fig14cd" => fig14cd::run(mode),
+        "fig15" => fig15::run(mode),
+        "fig16" => fig16::run(mode),
+        "tab3" => tab3::run(mode),
+        "tab4" => tab4::run(mode),
+        "ablation" => ablation::run(mode),
+        _ => return None,
+    };
+    Some(report)
+}

@@ -1,0 +1,80 @@
+//! Table 4: DAG processing time (ordering computation) for each
+//! application.
+//!
+//! Paper: social network (27 comps) ≈ 63.9 ms, video conference (1)
+//! ≈ 26.3 ms, camera (5) ≈ 30.6 ms — dominated by their Go/k8s stack;
+//! our pure-Rust in-memory graphs are orders of magnitude faster, so
+//! the reproduction target is the *relative* cost (social ≫ camera >
+//! videoconf) and the conclusion that DAG processing is a negligible
+//! one-time cost.
+
+use crate::{ExperimentReport, Row, RunMode};
+use bass_appdag::catalog;
+use bass_appdag::AppDag;
+use bass_core::heuristics::{breadth_first, longest_path, BfsWeighting};
+use std::time::Instant;
+
+fn time_processing(dag: &AppDag, iters: u32) -> (f64, f64) {
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let bfs = breadth_first(dag, BfsWeighting::EdgeWeight).expect("valid DAG");
+        let lp = longest_path(dag).expect("valid DAG");
+        std::hint::black_box((bfs, lp));
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var =
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Runs the experiment.
+pub fn run(mode: RunMode) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "tab4",
+        "DAG processing times (both heuristics) per application",
+        "social (27 comps) 63.9 ms > camera (5) 30.6 ms > videoconf (1) 26.3 ms; negligible vs runtime",
+    );
+    let iters = match mode {
+        RunMode::Full => 200,
+        RunMode::Quick => 50,
+    };
+    for (label, dag) in [
+        ("social-network", catalog::social_network(50.0)),
+        ("video-conference", catalog::video_conference()),
+        ("camera", catalog::camera_pipeline()),
+    ] {
+        let (mean, std) = time_processing(&dag, iters);
+        report.push_row(
+            Row::new(label)
+                .with("components", dag.component_count() as f64)
+                .with("mean_ms", mean)
+                .with("std_ms", std),
+        );
+    }
+    report.note("absolute times are far below the paper's (pure in-memory graphs vs k8s API machinery); the social network remains the most expensive");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn social_is_most_expensive_and_all_are_fast() {
+        let rep = run(RunMode::Quick);
+        let social = rep.row("social-network").unwrap();
+        let camera = rep.row("camera").unwrap();
+        let vc = rep.row("video-conference").unwrap();
+        assert_eq!(social.value("components").unwrap(), 27.0);
+        assert_eq!(camera.value("components").unwrap(), 5.0);
+        assert_eq!(vc.value("components").unwrap(), 1.0);
+        assert!(
+            social.value("mean_ms").unwrap() >= camera.value("mean_ms").unwrap(),
+            "more components → more processing"
+        );
+        // The paper's point: processing is negligible (sub-second).
+        assert!(social.value("mean_ms").unwrap() < 1000.0);
+    }
+}

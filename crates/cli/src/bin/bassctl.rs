@@ -1,0 +1,218 @@
+//! `bassctl` — plan and simulate BASS deployments.
+//!
+//! ```text
+//! bassctl order    --manifest app.json [--policy bfs|longest-path|hybrid|k3s]
+//! bassctl place    --manifest app.json --testbed mesh.json [--policy …] [--seed N] [--json]
+//! bassctl simulate --manifest app.json --testbed mesh.json [--policy …] [--duration SECS]
+//!                  [--no-migrations] [--seed N] [--json]
+//! bassctl recommend --manifest app.json --testbed mesh.json [--json]
+//! bassctl traces   --testbed mesh.json [--duration SECS] [--seed N]
+//! bassctl schema                       # print example input files
+//! ```
+
+use bass_appdag::Manifest;
+use bass_cli::{commands::recommend, commands::traces, order, place, simulate, SimulateOptions, TestbedSpec};
+use bass_cluster::BaselinePolicy;
+use bass_core::heuristics::BfsWeighting;
+use bass_core::SchedulerPolicy;
+use std::process::ExitCode;
+
+struct Args {
+    manifest: Option<String>,
+    testbed: Option<String>,
+    policy: SchedulerPolicy,
+    duration_s: u64,
+    migrations: bool,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_policy(name: &str) -> Result<SchedulerPolicy, String> {
+    match name {
+        "bfs" => Ok(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
+        "longest-path" | "lp" => Ok(SchedulerPolicy::LongestPath),
+        "hybrid" => Ok(SchedulerPolicy::Hybrid { fanout_threshold: 3 }),
+        "k3s" => Ok(SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated)),
+        other => Err(format!(
+            "unknown policy '{other}' (expected bfs, longest-path, hybrid, or k3s)"
+        )),
+    }
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), String> {
+    let command = argv.next().ok_or("missing command (order|place|simulate|schema)")?;
+    let mut args = Args {
+        manifest: None,
+        testbed: None,
+        policy: SchedulerPolicy::LongestPath,
+        duration_s: 300,
+        migrations: true,
+        seed: 42,
+        json: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} requires a value"));
+        match flag.as_str() {
+            "--manifest" => args.manifest = Some(value("--manifest")?),
+            "--testbed" => args.testbed = Some(value("--testbed")?),
+            "--policy" => args.policy = parse_policy(&value("--policy")?)?,
+            "--duration" => {
+                args.duration_s = value("--duration")?
+                    .parse()
+                    .map_err(|e| format!("bad --duration: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--no-migrations" => args.migrations = false,
+            "--json" => args.json = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok((command, args))
+}
+
+fn load_manifest(args: &Args) -> Result<Manifest, String> {
+    let path = args.manifest.as_ref().ok_or("--manifest is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_testbed(args: &Args) -> Result<TestbedSpec, String> {
+    let path = args.testbed.as_ref().ok_or("--testbed is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let (command, args) = parse_args(std::env::args().skip(1))?;
+    match command.as_str() {
+        "schema" => {
+            let manifest = Manifest::from_dag(&bass_appdag::catalog::camera_pipeline());
+            println!("--- example application manifest (app.json) ---");
+            println!("{}", serde_json::to_string_pretty(&manifest).expect("serializable"));
+            println!("--- example testbed (mesh.json) ---");
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&TestbedSpec::example()).expect("serializable")
+            );
+            Ok(())
+        }
+        "traces" => {
+            let testbed = load_testbed(&args)?;
+            let out_dir = std::path::Path::new("traces");
+            std::fs::create_dir_all(out_dir)
+                .map_err(|e| format!("cannot create traces/: {e}"))?;
+            let bundles =
+                traces(&testbed, args.seed, args.duration_s).map_err(|e| e.to_string())?;
+            for (key, csv) in bundles {
+                let path = out_dir.join(format!("{key}.csv"));
+                std::fs::write(&path, csv)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                println!("wrote {}", path.display());
+            }
+            Ok(())
+        }
+        "recommend" => {
+            let manifest = load_manifest(&args)?;
+            let testbed = load_testbed(&args)?;
+            let rec = recommend(&manifest, &testbed, args.seed).map_err(|e| e.to_string())?;
+            if args.json {
+                println!("{}", serde_json::to_string_pretty(&rec).expect("serializable"));
+            } else {
+                println!(
+                    "DAG shape: max fan-out {}, depth {}",
+                    rec.max_fan_out, rec.depth
+                );
+                for (i, score) in rec.ranking.iter().enumerate() {
+                    println!(
+                        "{}. {:<14} crossing {:>6.1}% of total bandwidth",
+                        i + 1,
+                        score.policy.to_string(),
+                        score.crossing_fraction * 100.0
+                    );
+                }
+                if !rec.is_feasible() {
+                    println!("no policy produced a feasible placement");
+                }
+            }
+            Ok(())
+        }
+        "order" => {
+            let manifest = load_manifest(&args)?;
+            let groups = order(&manifest, args.policy).map_err(|e| e.to_string())?;
+            for (i, group) in groups.iter().enumerate() {
+                println!("group {}: {}", i + 1, group.join(" -> "));
+            }
+            Ok(())
+        }
+        "place" => {
+            let manifest = load_manifest(&args)?;
+            let testbed = load_testbed(&args)?;
+            let outcome =
+                place(&manifest, &testbed, args.policy, args.seed).map_err(|e| e.to_string())?;
+            if args.json {
+                println!("{}", serde_json::to_string_pretty(&outcome).expect("serializable"));
+            } else {
+                for (name, node) in &outcome.placement {
+                    println!("{name:<28} -> node {node}");
+                }
+                println!(
+                    "crossing bandwidth: {:.2} / {:.2} Mbps",
+                    outcome.crossing_mbps, outcome.total_mbps
+                );
+            }
+            Ok(())
+        }
+        "simulate" => {
+            let manifest = load_manifest(&args)?;
+            let testbed = load_testbed(&args)?;
+            let outcome = simulate(
+                &manifest,
+                &testbed,
+                SimulateOptions {
+                    policy: args.policy,
+                    duration_s: args.duration_s,
+                    migrations: args.migrations,
+                    seed: args.seed,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            if args.json {
+                println!("{}", serde_json::to_string_pretty(&outcome).expect("serializable"));
+            } else {
+                println!(
+                    "initial crossing bandwidth: {:.2} Mbps",
+                    outcome.initial.crossing_mbps
+                );
+                for (t, name, from, to) in &outcome.migrations {
+                    println!("t={t:>7.1}s migrate {name}: node {from} -> node {to}");
+                }
+                println!(
+                    "final crossing bandwidth: {:.2} Mbps; worst edge goodput: {:.0}%",
+                    outcome.r#final.crossing_mbps,
+                    outcome.worst_goodput_fraction * 100.0
+                );
+                println!("probe overhead: {} bytes", outcome.probe_bytes);
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("bassctl order|place|simulate|schema — see crate docs");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bassctl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! The `bassctl` commands, as library functions.
+
+use crate::testbed::{TestbedError, TestbedSpec};
+use bass_appdag::{AppDag, Manifest};
+use bass_core::placement::crossing_bandwidth;
+use bass_core::{BassScheduler, SchedulerPolicy};
+use bass_emu::{EnvError, Scenario, SimEnv, SimEnvConfig};
+use bass_mesh::NodeId;
+use bass_util::time::{SimDuration, SimTime};
+use bass_util::units::Bandwidth;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from commands.
+#[derive(Debug)]
+pub enum CommandError {
+    /// The manifest could not be converted to a DAG.
+    Manifest(bass_appdag::manifest::ManifestError),
+    /// The testbed description was invalid.
+    Testbed(TestbedError),
+    /// Scheduling/ordering failed.
+    Schedule(bass_core::scheduler::ScheduleError),
+    /// Simulation failed.
+    Env(EnvError),
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::Manifest(e) => write!(f, "manifest error: {e}"),
+            CommandError::Testbed(e) => write!(f, "testbed error: {e}"),
+            CommandError::Schedule(e) => write!(f, "scheduling error: {e}"),
+            CommandError::Env(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for CommandError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CommandError::Manifest(e) => Some(e),
+            CommandError::Testbed(e) => Some(e),
+            CommandError::Schedule(e) => Some(e),
+            CommandError::Env(e) => Some(e),
+        }
+    }
+}
+
+impl From<bass_appdag::manifest::ManifestError> for CommandError {
+    fn from(e: bass_appdag::manifest::ManifestError) -> Self {
+        CommandError::Manifest(e)
+    }
+}
+
+impl From<TestbedError> for CommandError {
+    fn from(e: TestbedError) -> Self {
+        CommandError::Testbed(e)
+    }
+}
+
+impl From<bass_core::scheduler::ScheduleError> for CommandError {
+    fn from(e: bass_core::scheduler::ScheduleError) -> Self {
+        CommandError::Schedule(e)
+    }
+}
+
+impl From<EnvError> for CommandError {
+    fn from(e: EnvError) -> Self {
+        CommandError::Env(e)
+    }
+}
+
+/// The result of `bassctl place`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlaceOutcome {
+    /// Component name → node id.
+    pub placement: BTreeMap<String, u32>,
+    /// Total bandwidth of edges that cross nodes, in Mbps.
+    pub crossing_mbps: f64,
+    /// Total bandwidth of all edges, in Mbps.
+    pub total_mbps: f64,
+}
+
+/// `bassctl order`: the component co-location ordering a policy would use.
+///
+/// # Errors
+///
+/// Fails on invalid manifests or empty/cyclic graphs.
+pub fn order(manifest: &Manifest, policy: SchedulerPolicy) -> Result<Vec<Vec<String>>, CommandError> {
+    let dag = manifest.to_dag()?;
+    let ordering = BassScheduler::new(policy).ordering(&dag)?;
+    Ok(ordering
+        .groups()
+        .iter()
+        .map(|group| {
+            group
+                .iter()
+                .map(|c| dag.component(*c).expect("ordering is a permutation").name.clone())
+                .collect()
+        })
+        .collect())
+}
+
+/// `bassctl place`: compute the initial placement of a manifest on a
+/// testbed under a policy.
+///
+/// # Errors
+///
+/// Fails on invalid inputs or when some component cannot be placed.
+pub fn place(
+    manifest: &Manifest,
+    testbed: &TestbedSpec,
+    policy: SchedulerPolicy,
+    seed: u64,
+) -> Result<PlaceOutcome, CommandError> {
+    let dag = manifest.to_dag()?;
+    let (mesh, mut cluster) = testbed.build(seed, SimDuration::from_secs(60))?;
+    let placement = BassScheduler::new(policy).schedule(&dag, &mut cluster, &mesh)?;
+    Ok(outcome_from(&dag, &placement))
+}
+
+fn outcome_from(dag: &AppDag, placement: &bass_cluster::Placement) -> PlaceOutcome {
+    PlaceOutcome {
+        placement: placement
+            .iter()
+            .map(|(c, n)| (dag.component(*c).expect("placed component exists").name.clone(), n.0))
+            .collect(),
+        crossing_mbps: crossing_bandwidth(dag, placement).as_mbps(),
+        total_mbps: dag.total_bandwidth().as_mbps(),
+    }
+}
+
+/// Options for `bassctl simulate`.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulateOptions {
+    /// Placement policy.
+    pub policy: SchedulerPolicy,
+    /// Run length in seconds.
+    pub duration_s: u64,
+    /// Dynamic migration on/off.
+    pub migrations: bool,
+    /// Random seed (traces and workload noise).
+    pub seed: u64,
+}
+
+impl Default for SimulateOptions {
+    fn default() -> Self {
+        SimulateOptions {
+            policy: SchedulerPolicy::LongestPath,
+            duration_s: 300,
+            migrations: true,
+            seed: 42,
+        }
+    }
+}
+
+/// The result of `bassctl simulate`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimulateOutcome {
+    /// Initial placement.
+    pub initial: PlaceOutcome,
+    /// Final placement (differs when migrations occurred).
+    pub r#final: PlaceOutcome,
+    /// `(t_s, component, from, to)` for every migration.
+    pub migrations: Vec<(f64, String, u32, u32)>,
+    /// Worst edge goodput fraction at the end of the run.
+    pub worst_goodput_fraction: f64,
+    /// Probe overhead in bytes.
+    pub probe_bytes: u64,
+}
+
+/// `bassctl simulate`: deploy the manifest on the testbed, drive edge
+/// demands at their declared requirements, apply the testbed's scripted
+/// restrictions, and report migrations and final goodput.
+///
+/// # Errors
+///
+/// Fails on invalid inputs, infeasible placement, or simulation errors.
+pub fn simulate(
+    manifest: &Manifest,
+    testbed: &TestbedSpec,
+    opts: SimulateOptions,
+) -> Result<SimulateOutcome, CommandError> {
+    let dag = manifest.to_dag()?;
+    let trace_len = SimDuration::from_secs(opts.duration_s + 60);
+    let (mesh, cluster) = testbed.build(opts.seed, trace_len)?;
+    let cfg = SimEnvConfig {
+        policy: opts.policy,
+        migrations_enabled: opts.migrations,
+        ..Default::default()
+    };
+    let mut env = SimEnv::new(mesh, cluster, dag, cfg);
+    let initial_placement = env.deploy(&[])?;
+    let dag = env.dag().clone();
+    let initial = outcome_from(&dag, &initial_placement);
+
+    let mut scenario = Scenario::new();
+    for r in &testbed.restrictions {
+        scenario = scenario.restrict_node_egress(
+            NodeId(r.node),
+            SimTime::from_secs(r.from_s),
+            SimTime::from_secs(r.until_s),
+            Bandwidth::from_mbps(r.mbps),
+        );
+    }
+    env.set_scenario(scenario);
+    env.run_for(SimDuration::from_secs(opts.duration_s), |_| {})?;
+
+    let final_outcome = outcome_from(&dag, &env.placement());
+    let worst = dag
+        .edges()
+        .iter()
+        .map(|e| {
+            let achieved = env.edge_achieved(e.from, e.to);
+            if e.bandwidth.is_zero() {
+                1.0
+            } else {
+                achieved.as_bps() / e.bandwidth.as_bps()
+            }
+        })
+        .fold(1.0f64, f64::min);
+    Ok(SimulateOutcome {
+        initial,
+        r#final: final_outcome,
+        migrations: env
+            .stats()
+            .migrations
+            .iter()
+            .map(|m| {
+                (
+                    m.at.as_secs_f64(),
+                    dag.component(m.component).expect("migrated component exists").name.clone(),
+                    m.from.0,
+                    m.to.0,
+                )
+            })
+            .collect(),
+        worst_goodput_fraction: worst,
+        probe_bytes: env.netmon().overhead().total_bytes().as_bytes(),
+    })
+}
+
+/// `bassctl recommend`: dry-run every policy on the testbed and rank
+/// them by the bandwidth left crossing nodes.
+///
+/// # Errors
+///
+/// Fails on invalid inputs.
+pub fn recommend(
+    manifest: &Manifest,
+    testbed: &TestbedSpec,
+    seed: u64,
+) -> Result<bass_core::planner::Recommendation, CommandError> {
+    let dag = manifest.to_dag()?;
+    let (mesh, cluster) = testbed.build(seed, SimDuration::from_secs(60))?;
+    Ok(bass_core::planner::recommend(&dag, &cluster, &mesh))
+}
+
+/// `bassctl traces`: generate each variable link's trace from a testbed
+/// description and return `(link key, csv text)` pairs — plotting fodder
+/// and a way to eyeball what the simulator will replay.
+///
+/// # Errors
+///
+/// Fails when the testbed is invalid.
+pub fn traces(
+    testbed: &TestbedSpec,
+    seed: u64,
+    duration_s: u64,
+) -> Result<Vec<(String, String)>, CommandError> {
+    use bass_trace::OuTraceConfig;
+    let mut out = Vec::new();
+    // Validate the whole spec first so errors surface consistently.
+    testbed.build(seed, SimDuration::from_secs(1))?;
+    for (i, l) in testbed.links.iter().enumerate() {
+        if l.relative_std <= 0.0 {
+            continue;
+        }
+        let key = format!("n{}-n{}", l.a.min(l.b), l.a.max(l.b));
+        let trace = OuTraceConfig::new(key.clone(), l.mbps)
+            .relative_std(l.relative_std)
+            .generate(
+                seed.wrapping_add(i as u64 * 0x9E37),
+                SimDuration::from_secs(duration_s),
+            );
+        let mut csv = Vec::new();
+        bass_trace::io::write_trace_csv(&trace, &mut csv)
+            .expect("writing to a Vec cannot fail");
+        out.push((key, String::from_utf8(csv).expect("CSV is UTF-8")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bass_appdag::catalog;
+    use bass_core::heuristics::BfsWeighting;
+
+    fn camera_manifest() -> Manifest {
+        Manifest::from_dag(&catalog::camera_pipeline())
+    }
+
+    fn lan_testbed() -> TestbedSpec {
+        use crate::testbed::{LinkSpec, NodeSpecJson};
+        TestbedSpec {
+            nodes: (0..3)
+                .map(|id| NodeSpecJson { id, cores: 12, memory_mb: 16_384, schedulable: true })
+                .collect(),
+            links: vec![
+                LinkSpec { a: 0, b: 1, mbps: 1000.0, relative_std: 0.0 },
+                LinkSpec { a: 1, b: 2, mbps: 1000.0, relative_std: 0.0 },
+                LinkSpec { a: 0, b: 2, mbps: 1000.0, relative_std: 0.0 },
+            ],
+            restrictions: vec![],
+        }
+    }
+
+    #[test]
+    fn order_lists_groups() {
+        let groups = order(&camera_manifest(), SchedulerPolicy::LongestPath).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(
+            groups[0],
+            vec!["camera-stream", "frame-sampler", "object-detector", "image-listener"]
+        );
+        assert_eq!(groups[1], vec!["label-listener"]);
+    }
+
+    #[test]
+    fn place_reports_crossing_bandwidth() {
+        let outcome = place(
+            &camera_manifest(),
+            &lan_testbed(),
+            SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            1,
+        )
+        .unwrap();
+        assert_eq!(outcome.placement.len(), 5);
+        assert_eq!(
+            outcome.placement["camera-stream"],
+            outcome.placement["frame-sampler"]
+        );
+        assert!(outcome.crossing_mbps < outcome.total_mbps);
+        assert!((outcome.total_mbps - 21.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn simulate_applies_restriction_and_migrates() {
+        let mut testbed = lan_testbed();
+        // Squeeze whatever node hosts the sampler side, hard.
+        let base = place(
+            &camera_manifest(),
+            &testbed,
+            SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            1,
+        )
+        .unwrap();
+        let sampler_node = base.placement["frame-sampler"];
+        testbed.restrictions.push(crate::testbed::RestrictionSpec {
+            node: sampler_node,
+            mbps: 1.0,
+            from_s: 30,
+            until_s: 600,
+        });
+        let outcome = simulate(
+            &camera_manifest(),
+            &testbed,
+            SimulateOptions {
+                policy: SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+                duration_s: 240,
+                migrations: true,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert!(!outcome.migrations.is_empty(), "squeeze must trigger migration");
+        assert!(outcome.worst_goodput_fraction > 0.9, "recovered: {outcome:?}");
+        assert_ne!(outcome.initial.placement, outcome.r#final.placement);
+        assert!(outcome.probe_bytes > 0);
+    }
+
+    #[test]
+    fn recommend_ranks_policies() {
+        let rec = recommend(&camera_manifest(), &lan_testbed(), 1).unwrap();
+        assert!(rec.is_feasible());
+        assert_eq!(rec.max_fan_out, 2);
+        assert!(rec.ranking.len() >= 3);
+    }
+
+    #[test]
+    fn traces_exports_variable_links_only() {
+        let spec = crate::testbed::TestbedSpec::example();
+        let out = traces(&spec, 7, 60).unwrap();
+        // The example has three variable links and one constant.
+        assert_eq!(out.len(), 3);
+        for (key, csv) in &out {
+            assert!(key.starts_with('n'));
+            assert!(csv.starts_with("time_s,mbps"));
+            assert!(csv.lines().count() > 50, "{key}: {}", csv.lines().count());
+        }
+        // Deterministic.
+        assert_eq!(traces(&spec, 7, 60).unwrap(), out);
+    }
+
+    #[test]
+    fn infeasible_placement_errors() {
+        let mut testbed = lan_testbed();
+        for n in &mut testbed.nodes {
+            n.cores = 2; // detector needs 8
+        }
+        let err = place(&camera_manifest(), &testbed, SchedulerPolicy::LongestPath, 1)
+            .unwrap_err();
+        assert!(matches!(err, CommandError::Schedule(_)));
+        assert!(err.to_string().contains("scheduling error"));
+    }
+}

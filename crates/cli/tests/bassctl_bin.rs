@@ -1,0 +1,110 @@
+//! End-to-end tests of the `bassctl` binary itself.
+
+use std::process::Command;
+
+fn bassctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bassctl"))
+}
+
+/// Runs `bassctl schema` and splits its output into the two example
+/// files, written into a temp dir; returns their paths.
+fn write_schema_files(dir: &std::path::Path) -> (std::path::PathBuf, std::path::PathBuf) {
+    let out = bassctl().arg("schema").output().expect("bassctl runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf-8 output");
+    let mut parts = text.split("--- example testbed (mesh.json) ---");
+    let manifest_part = parts.next().expect("manifest section");
+    let testbed_part = parts.next().expect("testbed section");
+    let manifest_json = manifest_part
+        .split("--- example application manifest (app.json) ---")
+        .nth(1)
+        .expect("manifest body");
+    let app = dir.join("app.json");
+    let mesh = dir.join("mesh.json");
+    std::fs::write(&app, manifest_json.trim()).expect("write manifest");
+    std::fs::write(&mesh, testbed_part.trim()).expect("write testbed");
+    (app, mesh)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bassctl_test_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn schema_output_is_consumable_by_place() {
+    let dir = temp_dir("place");
+    let (app, mesh) = write_schema_files(&dir);
+    let out = bassctl()
+        .args(["place", "--manifest"])
+        .arg(&app)
+        .arg("--testbed")
+        .arg(&mesh)
+        .args(["--policy", "bfs", "--json"])
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let parsed: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON outcome");
+    assert_eq!(parsed["placement"].as_object().expect("placement map").len(), 5);
+    assert!(parsed["crossing_mbps"].as_f64().expect("number") >= 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn order_prints_groups_for_each_policy() {
+    let dir = temp_dir("order");
+    let (app, _) = write_schema_files(&dir);
+    for policy in ["bfs", "longest-path", "hybrid", "k3s"] {
+        let out = bassctl()
+            .args(["order", "--manifest"])
+            .arg(&app)
+            .args(["--policy", policy])
+            .output()
+            .expect("bassctl runs");
+        assert!(out.status.success(), "{policy}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("group 1:"), "{policy}: {text}");
+        assert!(text.contains("camera-stream"), "{policy}: {text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_reports_json_outcome() {
+    let dir = temp_dir("simulate");
+    let (app, mesh) = write_schema_files(&dir);
+    let out = bassctl()
+        .args(["simulate", "--manifest"])
+        .arg(&app)
+        .arg("--testbed")
+        .arg(&mesh)
+        .args(["--duration", "60", "--json"])
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let parsed: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(parsed["worst_goodput_fraction"].as_f64().expect("number") > 0.0);
+    assert!(parsed["probe_bytes"].as_u64().expect("number") > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown command.
+    let out = bassctl().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    // Missing manifest.
+    let out = bassctl().args(["order"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--manifest is required"));
+    // Unknown policy.
+    let out = bassctl()
+        .args(["order", "--manifest", "/nonexistent", "--policy", "magic"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+}

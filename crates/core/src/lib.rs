@@ -1,0 +1,41 @@
+//! BASS — Bandwidth Aware Scheduling System (the paper's contribution).
+//!
+//! This crate implements the scheduling and orchestration logic of the
+//! paper on top of the substrates in the sibling crates:
+//!
+//! - [`heuristics`]: component-ordering heuristics — Algorithm 1
+//!   (modified breadth-first traversal), Algorithm 2 (weighted longest
+//!   path), and the §8 *hybrid* extension that picks per-subgraph.
+//! - [`ranking`]: node ranking by free CPU, memory, and combined link
+//!   capacity (§3.2.1).
+//! - [`placement`]: packing an ordering onto ranked nodes with CPU and
+//!   memory as hard constraints.
+//! - [`scheduler`]: the [`scheduler::BassScheduler`] facade, including
+//!   the k3s-default baseline for comparisons.
+//! - [`migration`]: Algorithm 3 — selecting which components to migrate
+//!   when bandwidth requirements are no longer met, with dependency
+//!   de-duplication to avoid cascades.
+//! - [`rescheduler`]: choosing the target node for a migrating
+//!   component (most co-located dependencies, then resource/bandwidth
+//!   fit).
+//! - [`controller`]: the bandwidth controller (§4.3) — headroom
+//!   monitoring, full-probe escalation, cooldowns, and migration
+//!   planning.
+//! - [`planner`]: what-if evaluation of every policy on a scratch
+//!   cluster, automating §3.2.1's "developer picks the heuristic".
+//! - [`tuning`]: the §8 auto-tuning extension for (threshold, headroom).
+
+pub mod controller;
+pub mod heuristics;
+pub mod migration;
+pub mod placement;
+pub mod planner;
+pub mod ranking;
+pub mod rescheduler;
+pub mod scheduler;
+pub mod tuning;
+
+pub use controller::{BassController, ControllerConfig, ControllerOutcome, MigrationPlan};
+pub use heuristics::{BfsWeighting, ComponentOrdering, HeuristicError};
+pub use placement::PlacementError;
+pub use scheduler::{BassScheduler, SchedulerPolicy};

@@ -1,0 +1,458 @@
+//! Algorithm 3: choosing which components to migrate.
+//!
+//! Two situations call for migration (§3.2.2):
+//!
+//! 1. **Utilization**: a component's traffic uses up so much of its link
+//!    that the required headroom is gone even without a capacity change —
+//!    detected from passive usage measurements.
+//! 2. **Degradation**: the link's capacity dropped so far that the
+//!    component's goodput falls below its threshold — detected via
+//!    headroom probing plus goodput monitoring.
+//!
+//! Candidates are sorted by bandwidth (heaviest first) and de-duplicated
+//! so that at most one endpoint of any communicating pair migrates in a
+//! round ("by migrating only one component of the dependency pair, we
+//! avoid cascading effects").
+
+use bass_appdag::{AppDag, ComponentId};
+use bass_cluster::Placement;
+use bass_mesh::Mesh;
+use bass_netmon::GoodputMonitor;
+use bass_util::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Tuning knobs for candidate selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationConfig {
+    /// Goodput-fraction threshold (`achieved / required`). The
+    /// degradation trigger fires when an edge's goodput falls *below*
+    /// this (paper default 0.5).
+    pub goodput_threshold: f64,
+    /// Link-utilization threshold: the utilization trigger fires when an
+    /// edge consumes *more* than this fraction of its path's capacity
+    /// (Fig. 15b evaluates 0.65 and 0.85).
+    pub utilization_threshold: f64,
+    /// Required headroom as a fraction of link capacity (paper ~0.2).
+    pub headroom_fraction: f64,
+    /// Enable the utilization trigger.
+    pub use_utilization_trigger: bool,
+    /// Enable the degradation trigger.
+    pub use_degradation_trigger: bool,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            goodput_threshold: 0.5,
+            utilization_threshold: 0.65,
+            headroom_fraction: 0.2,
+            use_utilization_trigger: true,
+            use_degradation_trigger: true,
+        }
+    }
+}
+
+/// Why a component became a migration candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TriggerKind {
+    /// The component's own usage consumed the link past the utilization
+    /// threshold with no headroom left.
+    Utilization,
+    /// Link capacity degraded: goodput below threshold and headroom gone.
+    Degradation,
+}
+
+/// One violating edge observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The component proposed for migration (the edge's producer, per
+    /// Algorithm 3).
+    pub component: ComponentId,
+    /// The dependency at the other end of the violating edge.
+    pub dependency: ComponentId,
+    /// The edge's declared bandwidth requirement.
+    pub required: Bandwidth,
+    /// The goodput fraction observed on the violating edge.
+    pub goodput_fraction: f64,
+    /// What fired.
+    pub trigger: TriggerKind,
+}
+
+/// The outcome of one candidate-selection round: everything that
+/// violated, and the de-duplicated migration list (Table 1 reports both:
+/// "components exceeding link utilization quota" vs "components
+/// migrated").
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MigrationCandidates {
+    /// All violations observed this round.
+    pub violations: Vec<Violation>,
+    /// Components to actually migrate, heaviest-bandwidth first, with at
+    /// most one endpoint per communicating pair.
+    pub to_migrate: Vec<ComponentId>,
+}
+
+impl MigrationCandidates {
+    /// Number of distinct components with at least one violation.
+    pub fn violating_component_count(&self) -> usize {
+        let set: BTreeSet<ComponentId> = self.violations.iter().map(|v| v.component).collect();
+        set.len()
+    }
+
+    /// The worst observed goodput fraction among a component's
+    /// violations (1.0 when the component has none).
+    pub fn worst_goodput_fraction(&self, component: ComponentId) -> f64 {
+        self.violations
+            .iter()
+            .filter(|v| v.component == component)
+            .map(|v| v.goodput_fraction)
+            .fold(1.0, f64::min)
+    }
+}
+
+/// Runs Algorithm 3 over the current placement.
+///
+/// For every DAG edge whose endpoints sit on *different* nodes, the
+/// goodput monitor supplies the achieved bandwidth and the mesh supplies
+/// the path's spare bandwidth; the configured triggers decide whether a
+/// component becomes a candidate:
+///
+/// - **Utilization** (Algorithm 3 line 8, literally): the edge is
+///   achieving its traffic (`goodput > utilization_threshold`) *and* the
+///   path's available bandwidth is less than the edge's achieved rate
+///   plus the required headroom — i.e. the component's own use has eaten
+///   the link's spare capacity.
+/// - **Degradation** (§4.3): goodput collapsed below the threshold and
+///   the headroom requirement is violated — the link itself degraded.
+///
+/// The candidate is the edge's producer unless it is `pinned`, in which
+/// case the consumer is proposed instead (pinned components — e.g. the
+/// pseudo-components that anchor external clients — can never move).
+/// Edges without a goodput measurement are skipped (nothing has flowed).
+pub fn find_candidates(
+    dag: &AppDag,
+    placement: &Placement,
+    goodput: &GoodputMonitor,
+    mesh: &Mesh,
+    cfg: &MigrationConfig,
+    pinned: &BTreeSet<ComponentId>,
+) -> MigrationCandidates {
+    let mut violations = Vec::new();
+
+    for e in dag.edges() {
+        let (Some(&cn), Some(&dn)) = (placement.get(&e.from), placement.get(&e.to)) else {
+            continue;
+        };
+        if cn == dn {
+            continue; // co-located pairs never violate the network
+        }
+        let Some(usage) = goodput.usage(e.from, e.to) else {
+            continue;
+        };
+        let capacity = mesh
+            .path_bottleneck_capacity(cn, dn)
+            .unwrap_or(Bandwidth::ZERO);
+        let available = mesh.path_available(cn, dn).unwrap_or(Bandwidth::ZERO);
+        let headroom_req = capacity.scale(cfg.headroom_fraction);
+
+        let goodput_fraction = usage.goodput_fraction();
+        // The migratable endpoint: producer unless pinned, else consumer.
+        let (candidate, other) = if pinned.contains(&e.from) {
+            if pinned.contains(&e.to) {
+                continue;
+            }
+            (e.to, e.from)
+        } else {
+            (e.from, e.to)
+        };
+
+        if cfg.use_utilization_trigger
+            && goodput_fraction > cfg.utilization_threshold
+            && available < usage.achieved + headroom_req
+        {
+            violations.push(Violation {
+                component: candidate,
+                dependency: other,
+                required: e.bandwidth,
+                goodput_fraction,
+                trigger: TriggerKind::Utilization,
+            });
+            continue;
+        }
+        if cfg.use_degradation_trigger
+            && goodput_fraction < cfg.goodput_threshold
+            && available < headroom_req
+        {
+            violations.push(Violation {
+                component: candidate,
+                dependency: other,
+                required: e.bandwidth,
+                goodput_fraction,
+                trigger: TriggerKind::Degradation,
+            });
+        }
+    }
+
+    MigrationCandidates {
+        to_migrate: dedup_candidates(dag, &violations),
+        violations,
+    }
+}
+
+/// Algorithm 3 lines 10–15: sort candidates by bandwidth (descending)
+/// and drop any candidate that communicates with an already-accepted
+/// one, so only one endpoint of a pair moves per round.
+fn dedup_candidates(dag: &AppDag, violations: &[Violation]) -> Vec<ComponentId> {
+    // Aggregate each candidate's heaviest violating edge.
+    let mut weight: Vec<(ComponentId, Bandwidth)> = Vec::new();
+    for v in violations {
+        match weight.iter_mut().find(|(c, _)| *c == v.component) {
+            Some((_, w)) => *w = w.max(v.required),
+            None => weight.push((v.component, v.required)),
+        }
+    }
+    weight.sort_by(|a, b| {
+        b.1.as_bps()
+            .partial_cmp(&a.1.as_bps())
+            .expect("finite bandwidths")
+            .then(a.0.cmp(&b.0))
+    });
+
+    let mut accepted: Vec<ComponentId> = Vec::new();
+    for (candidate, _) in weight {
+        let talks_to_accepted = accepted
+            .iter()
+            .any(|&a| !dag.bandwidth_between(candidate, a).is_zero());
+        if !talks_to_accepted {
+            accepted.push(candidate);
+        }
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bass_appdag::{catalog, Component, ResourceReq};
+    use bass_mesh::{NodeId, Topology};
+    use bass_util::time::{SimDuration, SimTime};
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    /// Camera pipeline split across two nodes joined by one link, with a
+    /// controllable cap.
+    fn scenario(cap_mbps: f64) -> (AppDag, Placement, Mesh) {
+        let dag = catalog::camera_pipeline();
+        let mut topo = Topology::new();
+        topo.add_node(NodeId(0)).unwrap();
+        topo.add_node(NodeId(1)).unwrap();
+        topo.add_link(NodeId(0), NodeId(1)).unwrap();
+        let mut mesh = Mesh::with_uniform_capacity(topo, mbps(100.0)).unwrap();
+        mesh.set_link_cap(NodeId(0), NodeId(1), Some(mbps(cap_mbps)))
+            .unwrap();
+        // camera+sampler on n0; detector & listeners on n1 → the
+        // sampler→detector edge (6 Mbps) crosses the link.
+        let mut placement = Placement::new();
+        placement.insert(ComponentId(1), NodeId(0));
+        placement.insert(ComponentId(2), NodeId(0));
+        placement.insert(ComponentId(3), NodeId(1));
+        placement.insert(ComponentId(4), NodeId(1));
+        placement.insert(ComponentId(5), NodeId(1));
+        (dag, placement, mesh)
+    }
+
+    fn drive(mesh: &mut Mesh, demand: Bandwidth) -> bass_mesh::FlowId {
+        let f = mesh.add_flow(NodeId(0), NodeId(1), demand).unwrap();
+        mesh.advance(SimDuration::from_secs(1));
+        f
+    }
+
+    #[test]
+    fn healthy_link_yields_no_candidates() {
+        let (dag, placement, mut mesh) = scenario(100.0);
+        let f = drive(&mut mesh, mbps(6.0));
+        let mut gp = GoodputMonitor::new();
+        gp.record(
+            ComponentId(2),
+            ComponentId(3),
+            mbps(6.0),
+            mesh.flow_goodput(f),
+            SimTime::ZERO,
+        );
+        let out = find_candidates(&dag, &placement, &gp, &mesh, &MigrationConfig::default(), &BTreeSet::new());
+        assert!(out.violations.is_empty());
+        assert!(out.to_migrate.is_empty());
+    }
+
+    #[test]
+    fn degradation_trigger_fires_when_capacity_drops() {
+        // Link capped to 2 Mbps: the 6 Mbps edge achieves only 2 →
+        // goodput 0.33 < 0.5 and headroom (0.4 Mbps) is gone.
+        let (dag, placement, mut mesh) = scenario(2.0);
+        let f = drive(&mut mesh, mbps(6.0));
+        let mut gp = GoodputMonitor::new();
+        gp.record(
+            ComponentId(2),
+            ComponentId(3),
+            mbps(6.0),
+            mesh.flow_goodput(f),
+            SimTime::ZERO,
+        );
+        let out = find_candidates(&dag, &placement, &gp, &mesh, &MigrationConfig::default(), &BTreeSet::new());
+        assert_eq!(out.to_migrate, vec![ComponentId(2)]);
+        assert_eq!(out.violations[0].trigger, TriggerKind::Degradation);
+    }
+
+    #[test]
+    fn utilization_trigger_fires_when_edge_fills_link() {
+        // Link capped to 7 Mbps: the edge achieves its full 6 Mbps
+        // (goodput 1.0 — no degradation) but uses 86% of the link and
+        // leaves less than the 20% headroom.
+        let (dag, placement, mut mesh) = scenario(7.0);
+        let f = drive(&mut mesh, mbps(6.0));
+        let mut gp = GoodputMonitor::new();
+        gp.record(
+            ComponentId(2),
+            ComponentId(3),
+            mbps(6.0),
+            mesh.flow_goodput(f),
+            SimTime::ZERO,
+        );
+        let out = find_candidates(&dag, &placement, &gp, &mesh, &MigrationConfig::default(), &BTreeSet::new());
+        assert_eq!(out.to_migrate, vec![ComponentId(2)]);
+        assert_eq!(out.violations[0].trigger, TriggerKind::Utilization);
+    }
+
+    #[test]
+    fn triggers_can_be_disabled() {
+        let (dag, placement, mut mesh) = scenario(2.0);
+        let f = drive(&mut mesh, mbps(6.0));
+        let mut gp = GoodputMonitor::new();
+        gp.record(
+            ComponentId(2),
+            ComponentId(3),
+            mbps(6.0),
+            mesh.flow_goodput(f),
+            SimTime::ZERO,
+        );
+        let cfg = MigrationConfig {
+            use_degradation_trigger: false,
+            use_utilization_trigger: false,
+            ..Default::default()
+        };
+        let out = find_candidates(&dag, &placement, &gp, &mesh, &cfg, &BTreeSet::new());
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn colocated_edges_never_violate() {
+        let (dag, mut placement, mut mesh) = scenario(1.0);
+        // Co-locate everything on n0.
+        for c in dag.component_ids() {
+            placement.insert(c, NodeId(0));
+        }
+        drive(&mut mesh, mbps(50.0)); // saturate the link with unrelated load
+        let mut gp = GoodputMonitor::new();
+        gp.record(ComponentId(2), ComponentId(3), mbps(6.0), mbps(6.0), SimTime::ZERO);
+        let out = find_candidates(&dag, &placement, &gp, &mesh, &MigrationConfig::default(), &BTreeSet::new());
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn unmeasured_edges_are_skipped() {
+        let (dag, placement, mut mesh) = scenario(1.0);
+        drive(&mut mesh, mbps(50.0));
+        let gp = GoodputMonitor::new(); // no measurements
+        let out = find_candidates(&dag, &placement, &gp, &mesh, &MigrationConfig::default(), &BTreeSet::new());
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn dedup_keeps_heaviest_of_communicating_pair() {
+        // Chain a→b→c where both edges violate: candidates {a, b}; a→b is
+        // heavier, so a survives and b (which talks to a) is dropped.
+        let mut dag = AppDag::new("pair");
+        for i in 1..=3 {
+            dag.add_component(Component::new(
+                ComponentId(i),
+                format!("c{i}"),
+                ResourceReq::cores_mb(1, 64),
+            ))
+            .unwrap();
+        }
+        dag.add_edge(ComponentId(1), ComponentId(2), mbps(10.0)).unwrap();
+        dag.add_edge(ComponentId(2), ComponentId(3), mbps(4.0)).unwrap();
+        let violations = vec![
+            Violation {
+                component: ComponentId(1),
+                dependency: ComponentId(2),
+                required: mbps(10.0),
+                goodput_fraction: 0.3,
+                trigger: TriggerKind::Degradation,
+            },
+            Violation {
+                component: ComponentId(2),
+                dependency: ComponentId(3),
+                required: mbps(4.0),
+                goodput_fraction: 0.3,
+                trigger: TriggerKind::Degradation,
+            },
+        ];
+        let deduped = dedup_candidates(&dag, &violations);
+        assert_eq!(deduped, vec![ComponentId(1)]);
+    }
+
+    #[test]
+    fn dedup_keeps_non_communicating_candidates() {
+        // Two disjoint pairs: both producers can migrate.
+        let mut dag = AppDag::new("disjoint");
+        for i in 1..=4 {
+            dag.add_component(Component::new(
+                ComponentId(i),
+                format!("c{i}"),
+                ResourceReq::cores_mb(1, 64),
+            ))
+            .unwrap();
+        }
+        dag.add_edge(ComponentId(1), ComponentId(2), mbps(10.0)).unwrap();
+        dag.add_edge(ComponentId(3), ComponentId(4), mbps(4.0)).unwrap();
+        let violations = vec![
+            Violation {
+                component: ComponentId(3),
+                dependency: ComponentId(4),
+                required: mbps(4.0),
+                goodput_fraction: 0.3,
+                trigger: TriggerKind::Degradation,
+            },
+            Violation {
+                component: ComponentId(1),
+                dependency: ComponentId(2),
+                required: mbps(10.0),
+                goodput_fraction: 0.3,
+                trigger: TriggerKind::Degradation,
+            },
+        ];
+        let deduped = dedup_candidates(&dag, &violations);
+        assert_eq!(deduped, vec![ComponentId(1), ComponentId(3)]);
+    }
+
+    #[test]
+    fn violating_component_count_is_distinct() {
+        let v = |c: u32, d: u32| Violation {
+            component: ComponentId(c),
+            dependency: ComponentId(d),
+            required: mbps(1.0),
+            goodput_fraction: 0.3,
+            trigger: TriggerKind::Degradation,
+        };
+        let out = MigrationCandidates {
+            violations: vec![v(1, 2), v(1, 3), v(2, 3)],
+            to_migrate: vec![],
+        };
+        assert_eq!(out.violating_component_count(), 2);
+    }
+
+    use bass_appdag::AppDag;
+}

@@ -1,0 +1,282 @@
+//! The BASS scheduler facade.
+
+use crate::heuristics::{breadth_first, hybrid, longest_path, BfsWeighting, ComponentOrdering};
+use crate::placement::{pack_ordering, PlacementError};
+use bass_appdag::AppDag;
+use bass_cluster::{BaselinePolicy, BaselineScheduler, Cluster, ClusterError, Placement};
+use bass_mesh::Mesh;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Which placement policy the scheduler applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// Algorithm 1 — modified breadth-first traversal (best for DAGs
+    /// with large fan-outs).
+    BreadthFirst(BfsWeighting),
+    /// Algorithm 2 — weighted longest path (best for deep pipelines).
+    #[default]
+    LongestPath,
+    /// The §8 hybrid: per-subgraph choice by fan-out threshold.
+    Hybrid {
+        /// Minimum fan-out for a subgraph to be treated as fan-out-heavy.
+        fanout_threshold: usize,
+    },
+    /// The bandwidth-oblivious k3s default scheduler (the baseline BASS
+    /// is evaluated against).
+    K3sDefault(BaselinePolicy),
+}
+
+impl fmt::Display for SchedulerPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerPolicy::BreadthFirst(_) => write!(f, "bfs"),
+            SchedulerPolicy::LongestPath => write!(f, "longest-path"),
+            SchedulerPolicy::Hybrid { .. } => write!(f, "hybrid"),
+            SchedulerPolicy::K3sDefault(_) => write!(f, "k3s-default"),
+        }
+    }
+}
+
+/// Errors from [`BassScheduler::schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The ordering heuristic failed.
+    Heuristic(crate::heuristics::HeuristicError),
+    /// Packing failed.
+    Placement(PlacementError),
+    /// The baseline scheduler failed.
+    Baseline(ClusterError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Heuristic(e) => write!(f, "ordering failed: {e}"),
+            ScheduleError::Placement(e) => write!(f, "packing failed: {e}"),
+            ScheduleError::Baseline(e) => write!(f, "baseline scheduling failed: {e}"),
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Heuristic(e) => Some(e),
+            ScheduleError::Placement(e) => Some(e),
+            ScheduleError::Baseline(e) => Some(e),
+        }
+    }
+}
+
+impl From<crate::heuristics::HeuristicError> for ScheduleError {
+    fn from(e: crate::heuristics::HeuristicError) -> Self {
+        ScheduleError::Heuristic(e)
+    }
+}
+
+impl From<PlacementError> for ScheduleError {
+    fn from(e: PlacementError) -> Self {
+        ScheduleError::Placement(e)
+    }
+}
+
+impl From<ClusterError> for ScheduleError {
+    fn from(e: ClusterError) -> Self {
+        ScheduleError::Baseline(e)
+    }
+}
+
+/// The BASS scheduler: waits for the whole application (the DAG) and
+/// schedules all components at once (§5 "Scheduling all components at
+/// once"), unlike the one-pod-at-a-time baseline.
+///
+/// # Examples
+///
+/// ```
+/// use bass_appdag::catalog;
+/// use bass_cluster::{Cluster, NodeSpec};
+/// use bass_core::{BassScheduler, SchedulerPolicy};
+/// use bass_mesh::{Mesh, Topology};
+/// use bass_util::prelude::*;
+///
+/// let dag = catalog::camera_pipeline();
+/// let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(3), Bandwidth::from_mbps(100.0))?;
+/// let mut cluster = Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384)))
+///     .expect("unique nodes");
+/// let placement = BassScheduler::new(SchedulerPolicy::LongestPath)
+///     .schedule(&dag, &mut cluster, &mesh)
+///     .expect("feasible");
+/// assert_eq!(placement.len(), 5);
+/// # Ok::<(), bass_mesh::MeshError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BassScheduler {
+    policy: SchedulerPolicy,
+}
+
+impl BassScheduler {
+    /// Creates a scheduler with the given policy.
+    pub fn new(policy: SchedulerPolicy) -> Self {
+        BassScheduler { policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy
+    }
+
+    /// Computes the component ordering this policy would use (without
+    /// placing anything). For the k3s baseline this is plain component-id
+    /// order in a single group.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty or cyclic graphs.
+    pub fn ordering(&self, dag: &AppDag) -> Result<ComponentOrdering, ScheduleError> {
+        let ordering = match self.policy {
+            SchedulerPolicy::BreadthFirst(w) => breadth_first(dag, w)?,
+            SchedulerPolicy::LongestPath => longest_path(dag)?,
+            SchedulerPolicy::Hybrid { fanout_threshold } => hybrid(dag, fanout_threshold)?,
+            SchedulerPolicy::K3sDefault(_) => {
+                ComponentOrdering::new(vec![dag.component_ids().collect()])
+            }
+        };
+        Ok(ordering)
+    }
+
+    /// Schedules the whole application onto the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the ordering cannot be computed or some
+    /// component cannot be placed; the cluster may then hold a partial
+    /// placement.
+    pub fn schedule(
+        &self,
+        dag: &AppDag,
+        cluster: &mut Cluster,
+        mesh: &Mesh,
+    ) -> Result<Placement, ScheduleError> {
+        match self.policy {
+            SchedulerPolicy::K3sDefault(policy) => {
+                let mut baseline = BaselineScheduler::new(policy);
+                Ok(baseline.schedule(dag, cluster)?)
+            }
+            _ => {
+                let ordering = self.ordering(dag)?;
+                Ok(pack_ordering(&ordering, dag, cluster, mesh)?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bass_appdag::catalog;
+    use bass_cluster::NodeSpec;
+    use bass_mesh::{NodeId, Topology};
+    use bass_util::units::Bandwidth;
+
+    fn setup(n: u32, cores: u64) -> (Mesh, Cluster) {
+        let mesh =
+            Mesh::with_uniform_capacity(Topology::full_mesh(n), Bandwidth::from_mbps(100.0))
+                .unwrap();
+        let cluster = Cluster::new((0..n).map(|i| NodeSpec::cores_mb(i, cores, 16384))).unwrap();
+        (mesh, cluster)
+    }
+
+    #[test]
+    fn all_policies_place_camera() {
+        for policy in [
+            SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            SchedulerPolicy::LongestPath,
+            SchedulerPolicy::Hybrid { fanout_threshold: 3 },
+            SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
+        ] {
+            let (mesh, mut cluster) = setup(3, 12);
+            let placement = BassScheduler::new(policy)
+                .schedule(&catalog::camera_pipeline(), &mut cluster, &mesh)
+                .unwrap_or_else(|e| panic!("{policy}: {e}"));
+            assert_eq!(placement.len(), 5, "{policy}");
+            cluster.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn k3s_baseline_spreads_while_bass_colocates() {
+        let dag = catalog::camera_pipeline();
+        let (mesh, mut c1) = setup(3, 16);
+        let bass = BassScheduler::new(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight))
+            .schedule(&dag, &mut c1, &mesh)
+            .unwrap();
+        let (_, mut c2) = setup(3, 16);
+        let k3s = BassScheduler::new(SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated))
+            .schedule(&dag, &mut c2, &mesh)
+            .unwrap();
+        let crossing = |p: &bass_cluster::Placement| crate::placement::crossing_bandwidth(&dag, p);
+        assert!(
+            crossing(&bass) < crossing(&k3s),
+            "bass {:?} must beat k3s {:?}",
+            crossing(&bass),
+            crossing(&k3s)
+        );
+    }
+
+    #[test]
+    fn k3s_ordering_is_id_order() {
+        let dag = catalog::fig6_example();
+        let sched = BassScheduler::new(SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated));
+        let order = sched.ordering(&dag).unwrap();
+        let ids: Vec<u32> = order.flatten().iter().map(|c| c.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn default_policy_is_longest_path() {
+        assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::LongestPath);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight).to_string(),
+            "bfs"
+        );
+        assert_eq!(SchedulerPolicy::LongestPath.to_string(), "longest-path");
+        assert_eq!(
+            SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated).to_string(),
+            "k3s-default"
+        );
+        assert_eq!(
+            SchedulerPolicy::Hybrid { fanout_threshold: 2 }.to_string(),
+            "hybrid"
+        );
+    }
+
+    #[test]
+    fn error_chains_are_sourced() {
+        let dag = AppDag::new("empty");
+        let (mesh, mut cluster) = setup(2, 4);
+        let err = BassScheduler::new(SchedulerPolicy::LongestPath)
+            .schedule(&dag, &mut cluster, &mesh)
+            .unwrap_err();
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("ordering failed"));
+    }
+
+    #[test]
+    fn infeasible_detector_reported() {
+        let dag = catalog::camera_pipeline();
+        let (mesh, mut cluster) = setup(3, 4); // detector wants 8 cores
+        let err = BassScheduler::new(SchedulerPolicy::LongestPath)
+            .schedule(&dag, &mut cluster, &mesh)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::Placement(_)));
+        let _ = NodeId(0);
+    }
+
+    use bass_appdag::AppDag;
+}

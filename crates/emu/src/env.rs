@@ -1,0 +1,925 @@
+//! The emulation environment: one application deployment, end to end.
+
+use crate::scenario::Scenario;
+use bass_appdag::{AppDag, ComponentId};
+use bass_cluster::{Cluster, MigrationRecord, Placement, RestartModel};
+use bass_core::heuristics::ComponentOrdering;
+use bass_core::placement::pack_ordering;
+use bass_core::scheduler::{BassScheduler, ScheduleError, SchedulerPolicy};
+use bass_core::{BassController, ControllerConfig, MigrationPlan};
+use bass_mesh::{FlowId, Mesh, MeshError, NodeId};
+use bass_netmon::{GoodputMonitor, NetMonitor, NetMonitorConfig, OnlineProfiler};
+use bass_util::time::{SimDuration, SimTime};
+use bass_util::units::{Bandwidth, DataSize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// Environment configuration.
+#[derive(Debug, Clone)]
+pub struct SimEnvConfig {
+    /// Fixed simulation step (default 100 ms).
+    pub step: SimDuration,
+    /// Placement policy.
+    pub policy: SchedulerPolicy,
+    /// Controller configuration (thresholds, cooldown).
+    pub controller: ControllerConfig,
+    /// Net-monitor configuration (probe cadence, headroom).
+    pub netmon: NetMonitorConfig,
+    /// Restart cost model for migrations.
+    pub restart: RestartModel,
+    /// Master switch for dynamic migration (off = static placement, the
+    /// paper's "no migration" baselines).
+    pub migrations_enabled: bool,
+    /// Components that must never migrate (e.g. the pseudo-components
+    /// that pin video-conference clients to their nodes).
+    pub pinned: BTreeSet<ComponentId>,
+    /// Stateful migration (paper §8, future work): when set, a migrating
+    /// component carries this much state, and the restart downtime is
+    /// extended by the time to transfer it over the path from the old to
+    /// the new node at the bandwidth available at migration time
+    /// (clamped to at most 120 s). `None` models the paper's stateless
+    /// assumption.
+    pub stateful_state: Option<DataSize>,
+    /// Adaptive mesh routing: when set, every interval the mesh
+    /// recomputes ETX-style routes from the *current* link capacities
+    /// (weight ∝ 1/capacity) and re-routes all flows. Models community
+    /// routing protocols (Babel/BATMAN/OLSR-ETX) adapting underneath the
+    /// orchestrator — the paper assumes BASS works with "any routing
+    /// mechanism". `None` keeps static min-hop routes.
+    pub adaptive_routing: Option<SimDuration>,
+}
+
+impl Default for SimEnvConfig {
+    fn default() -> Self {
+        SimEnvConfig {
+            step: SimDuration::from_millis(100),
+            policy: SchedulerPolicy::default(),
+            controller: ControllerConfig::default(),
+            netmon: NetMonitorConfig::default(),
+            restart: RestartModel::default(),
+            migrations_enabled: true,
+            pinned: BTreeSet::new(),
+            stateful_state: None,
+            adaptive_routing: None,
+        }
+    }
+}
+
+/// How one DAG edge is realized on the network right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeState {
+    /// Both endpoints share a node: loopback, no mesh flow.
+    Local,
+    /// Endpoints on different nodes: carried by this mesh flow.
+    Remote(FlowId),
+}
+
+/// Environment errors.
+#[derive(Debug)]
+pub enum EnvError {
+    /// Scheduling failed during deploy.
+    Schedule(ScheduleError),
+    /// A mesh operation failed.
+    Mesh(MeshError),
+    /// A pinned component referenced an unknown id.
+    UnknownComponent(ComponentId),
+    /// The application was not deployed yet.
+    NotDeployed,
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::Schedule(e) => write!(f, "deploy failed: {e}"),
+            EnvError::Mesh(e) => write!(f, "mesh operation failed: {e}"),
+            EnvError::UnknownComponent(c) => write!(f, "unknown component {c}"),
+            EnvError::NotDeployed => write!(f, "application is not deployed"),
+        }
+    }
+}
+
+impl Error for EnvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EnvError::Schedule(e) => Some(e),
+            EnvError::Mesh(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScheduleError> for EnvError {
+    fn from(e: ScheduleError) -> Self {
+        EnvError::Schedule(e)
+    }
+}
+
+impl From<MeshError> for EnvError {
+    fn from(e: MeshError) -> Self {
+        EnvError::Mesh(e)
+    }
+}
+
+/// Statistics accumulated over a run.
+#[derive(Debug, Clone, Default)]
+pub struct EnvStats {
+    /// Applied migrations, in order.
+    pub migrations: Vec<MigrationRecord>,
+    /// Per-round (violating components, migrated components) counts —
+    /// the two columns of Table 1.
+    pub migration_rounds: Vec<(usize, usize)>,
+    /// Migrations the controller wanted but could not place.
+    pub unplaceable: u64,
+    /// Adaptive-routing recomputations performed.
+    pub route_updates: u64,
+}
+
+/// The emulation environment.
+///
+/// See the crate docs for the step pipeline. Construct with
+/// [`SimEnv::new`], call [`SimEnv::deploy`], then drive with
+/// [`SimEnv::step`] or [`SimEnv::run_for`].
+#[derive(Debug)]
+pub struct SimEnv {
+    cfg: SimEnvConfig,
+    mesh: Mesh,
+    cluster: Cluster,
+    dag: AppDag,
+    controller: BassController,
+    netmon: NetMonitor,
+    goodput: GoodputMonitor,
+    profiler: Option<OnlineProfiler>,
+    scenario: Scenario,
+    edges: BTreeMap<(ComponentId, ComponentId), EdgeState>,
+    demand_factor: BTreeMap<(ComponentId, ComponentId), f64>,
+    restarts: BTreeMap<ComponentId, (SimTime, RestartModel)>,
+    last_route_update: SimTime,
+    deployed: bool,
+    stats: EnvStats,
+}
+
+impl SimEnv {
+    /// Creates an environment over a mesh, a cluster, and an application.
+    pub fn new(mesh: Mesh, cluster: Cluster, dag: AppDag, cfg: SimEnvConfig) -> Self {
+        let controller = BassController::new(cfg.controller);
+        let netmon = NetMonitor::new(cfg.netmon);
+        SimEnv {
+            cfg,
+            mesh,
+            cluster,
+            dag,
+            controller,
+            netmon,
+            goodput: GoodputMonitor::new(),
+            profiler: None,
+            scenario: Scenario::new(),
+            edges: BTreeMap::new(),
+            demand_factor: BTreeMap::new(),
+            restarts: BTreeMap::new(),
+            last_route_update: SimTime::ZERO,
+            deployed: false,
+            stats: EnvStats::default(),
+        }
+    }
+
+    /// Installs the network scenario script.
+    pub fn set_scenario(&mut self, scenario: Scenario) {
+        self.scenario = scenario;
+    }
+
+    /// Enables online bandwidth-requirement profiling (the paper's §8
+    /// future-work extension): every step, each edge's achieved usage is
+    /// fed to an [`OnlineProfiler`]; once enough samples accumulate,
+    /// [`SimEnv::profiled_requirements`] returns learned requirements
+    /// that could replace the manifest's offline-profiled weights.
+    pub fn enable_online_profiling(&mut self, profiler: OnlineProfiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// The requirements the online profiler has learned so far (empty
+    /// when profiling is disabled or warm-up is incomplete).
+    pub fn profiled_requirements(&self) -> Vec<(ComponentId, ComponentId, Bandwidth)> {
+        self.profiler.as_ref().map(OnlineProfiler::estimates).unwrap_or_default()
+    }
+
+    /// Deploys the application: an initial full probe (the paper's
+    /// startup capacity probe), pinned placements, then the configured
+    /// scheduler for everything else, then flow creation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a pin is unknown, scheduling fails, or flows cannot be
+    /// created.
+    pub fn deploy(&mut self, pins: &[(ComponentId, NodeId)]) -> Result<Placement, EnvError> {
+        self.netmon.full_probe(&self.mesh);
+        for &(cid, node) in pins {
+            let comp = self
+                .dag
+                .component(cid)
+                .ok_or(EnvError::UnknownComponent(cid))?;
+            self.cluster
+                .place(cid, comp.resources, node)
+                .map_err(|e| EnvError::Schedule(ScheduleError::Baseline(e)))?;
+        }
+        let pinned: BTreeSet<ComponentId> = pins.iter().map(|&(c, _)| c).collect();
+        let scheduler = BassScheduler::new(self.cfg.policy);
+        match self.cfg.policy {
+            SchedulerPolicy::K3sDefault(policy) => {
+                let mut baseline = bass_cluster::BaselineScheduler::new(policy);
+                for component in self.dag.components() {
+                    if pinned.contains(&component.id) {
+                        continue;
+                    }
+                    let node = baseline
+                        .pick_node(&self.cluster, component.resources)
+                        .map_err(|e| EnvError::Schedule(ScheduleError::Baseline(e)))?;
+                    self.cluster
+                        .place(component.id, component.resources, node)
+                        .map_err(|e| EnvError::Schedule(ScheduleError::Baseline(e)))?;
+                }
+            }
+            _ => {
+                let ordering = scheduler.ordering(&self.dag)?;
+                let filtered = ComponentOrdering::new(
+                    ordering
+                        .groups()
+                        .iter()
+                        .map(|g| {
+                            g.iter()
+                                .copied()
+                                .filter(|c| !pinned.contains(c))
+                                .collect::<Vec<_>>()
+                        })
+                        .filter(|g: &Vec<ComponentId>| !g.is_empty())
+                        .collect(),
+                );
+                pack_ordering(&filtered, &self.dag, &mut self.cluster, &self.mesh)
+                    .map_err(ScheduleError::Placement)?;
+            }
+        }
+        self.deployed = true;
+        self.rebuild_all_edges()?;
+        Ok(self.cluster.placement())
+    }
+
+    /// Tears down all mesh flows for DAG edges and recreates them from
+    /// the current placement.
+    fn rebuild_all_edges(&mut self) -> Result<(), EnvError> {
+        for (_, state) in std::mem::take(&mut self.edges) {
+            if let EdgeState::Remote(f) = state {
+                let _ = self.mesh.remove_flow(f);
+            }
+        }
+        let edges: Vec<(ComponentId, ComponentId)> =
+            self.dag.edges().iter().map(|e| (e.from, e.to)).collect();
+        for (from, to) in edges {
+            self.bind_edge(from, to)?;
+        }
+        Ok(())
+    }
+
+    /// (Re)creates the mesh flow backing one DAG edge from the current
+    /// placement.
+    fn bind_edge(&mut self, from: ComponentId, to: ComponentId) -> Result<(), EnvError> {
+        if let Some(EdgeState::Remote(f)) = self.edges.remove(&(from, to)) {
+            let _ = self.mesh.remove_flow(f);
+        }
+        let (Some(fn_), Some(tn)) = (self.cluster.node_of(from), self.cluster.node_of(to)) else {
+            return Ok(()); // endpoint unplaced: nothing to bind
+        };
+        let state = if fn_ == tn {
+            EdgeState::Local
+        } else {
+            let demand = self.edge_demand(from, to);
+            EdgeState::Remote(self.mesh.add_flow(fn_, tn, demand)?)
+        };
+        self.edges.insert((from, to), state);
+        Ok(())
+    }
+
+    /// The current offered demand of an edge: requirement × factor,
+    /// zeroed while either endpoint is restarting.
+    fn edge_demand(&self, from: ComponentId, to: ComponentId) -> Bandwidth {
+        if self.component_down(from) || self.component_down(to) {
+            return Bandwidth::ZERO;
+        }
+        let factor = self.demand_factor.get(&(from, to)).copied().unwrap_or(1.0);
+        self.dag.bandwidth_between(from, to).scale(factor)
+    }
+
+    /// Scales an edge's offered demand relative to its declared
+    /// requirement (1.0 = at requirement). Workload models call this to
+    /// express time-varying load.
+    pub fn set_edge_demand_factor(&mut self, from: ComponentId, to: ComponentId, factor: f64) {
+        self.demand_factor.insert((from, to), factor.max(0.0));
+    }
+
+    /// Scales every edge's demand at once (open-loop load scaling).
+    pub fn set_global_demand_factor(&mut self, factor: f64) {
+        let keys: Vec<(ComponentId, ComponentId)> =
+            self.dag.edges().iter().map(|e| (e.from, e.to)).collect();
+        for (f, t) in keys {
+            self.set_edge_demand_factor(f, t, factor);
+        }
+    }
+
+    /// Advances the environment by one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario/mesh errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`SimEnv::deploy`].
+    pub fn step(&mut self) -> Result<(), EnvError> {
+        assert!(self.deployed, "call deploy() before step()");
+        // 1. Scenario actions due now.
+        let now = self.mesh.now();
+        self.scenario.apply_due(&mut self.mesh, now)?;
+
+        // 1b. Routing protocol adaptation (ETX-like: expensive links are
+        // avoided), independent of — and invisible to — the controller.
+        if let Some(interval) = self.cfg.adaptive_routing {
+            if now.saturating_since(self.last_route_update) >= interval {
+                let weights: Vec<f64> = self
+                    .mesh
+                    .topology()
+                    .links()
+                    .map(|(_, link)| {
+                        let cap = self
+                            .mesh
+                            .link_capacity(link.a, link.b)
+                            .unwrap_or(Bandwidth::ZERO)
+                            .as_bps();
+                        // ETX grows as capacity shrinks; floor avoids ∞.
+                        1e9 / cap.max(1e3)
+                    })
+                    .collect();
+                self.mesh.use_weighted_routing(|lid| weights[lid.0]);
+                self.stats.route_updates += 1;
+                self.last_route_update = now;
+            }
+        }
+
+        // 2. Push demands.
+        let edge_keys: Vec<(ComponentId, ComponentId)> = self.edges.keys().copied().collect();
+        for (from, to) in &edge_keys {
+            if let Some(EdgeState::Remote(f)) = self.edges.get(&(*from, *to)) {
+                let demand = self.edge_demand(*from, *to);
+                self.mesh.set_flow_demand(*f, demand)?;
+            }
+        }
+
+        // 3. Advance the network.
+        self.mesh.advance(self.cfg.step);
+        let now = self.mesh.now();
+
+        // 4. Passive goodput measurement.
+        for (from, to) in &edge_keys {
+            let required = {
+                let factor = self.demand_factor.get(&(*from, *to)).copied().unwrap_or(1.0);
+                self.dag.bandwidth_between(*from, *to).scale(factor)
+            };
+            let achieved = self.edge_achieved(*from, *to);
+            self.goodput.record(*from, *to, required, achieved, now);
+            if let Some(profiler) = &mut self.profiler {
+                profiler.observe(*from, *to, achieved);
+            }
+        }
+
+        // 5. Controller.
+        if self.cfg.migrations_enabled {
+            let outcome = self.controller.tick(
+                &self.mesh,
+                &mut self.netmon,
+                &self.goodput,
+                &self.dag,
+                &self.cluster,
+                &self.cfg.pinned,
+            );
+            let plans: Vec<MigrationPlan> = outcome
+                .plans
+                .iter()
+                .copied()
+                .filter(|p| !self.cfg.pinned.contains(&p.component))
+                .collect();
+            if !plans.is_empty() || !outcome.candidates.violations.is_empty() {
+                self.stats.migration_rounds.push((
+                    outcome.candidates.violating_component_count(),
+                    plans.len(),
+                ));
+            }
+            self.stats.unplaceable += outcome.unplaceable.len() as u64;
+            for plan in plans {
+                self.apply_migration(plan)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs for `duration`, invoking `hook` after every step.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first step error.
+    pub fn run_for(
+        &mut self,
+        duration: SimDuration,
+        mut hook: impl FnMut(&mut SimEnv),
+    ) -> Result<(), EnvError> {
+        let end = self.mesh.now() + duration;
+        while self.mesh.now() < end {
+            self.step()?;
+            hook(self);
+        }
+        Ok(())
+    }
+
+    fn apply_migration(&mut self, plan: MigrationPlan) -> Result<(), EnvError> {
+        if self.cluster.relocate(plan.component, plan.to).is_err() {
+            self.stats.unplaceable += 1;
+            return Ok(());
+        }
+        let now = self.mesh.now();
+        let mut model = self.cfg.restart;
+        if let Some(state) = self.cfg.stateful_state {
+            // §8 extension: checkpoint transfer extends the outage. Use
+            // the bandwidth available from the old to the new node right
+            // now; a starved path is clamped at 120 s.
+            let avail = self
+                .mesh
+                .path_available(plan.from, plan.to)
+                .unwrap_or(Bandwidth::ZERO);
+            let transfer = state
+                .transfer_time(avail)
+                .min(SimDuration::from_secs(120));
+            model.downtime += transfer;
+        }
+        self.restarts.insert(plan.component, (now, model));
+        self.stats.migrations.push(MigrationRecord {
+            at: now,
+            component: plan.component,
+            from: plan.from,
+            to: plan.to,
+        });
+        // Rebind every edge touching the migrated component.
+        let touching: Vec<(ComponentId, ComponentId)> = self
+            .dag
+            .edges()
+            .iter()
+            .filter(|e| e.from == plan.component || e.to == plan.component)
+            .map(|e| (e.from, e.to))
+            .collect();
+        for (f, t) in touching {
+            self.bind_edge(f, t)?;
+        }
+        Ok(())
+    }
+
+    // ----- queries the workload models use ---------------------------------
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.mesh.now()
+    }
+
+    /// The application DAG.
+    pub fn dag(&self) -> &AppDag {
+        &self.dag
+    }
+
+    /// The current placement.
+    pub fn placement(&self) -> Placement {
+        self.cluster.placement()
+    }
+
+    /// Immutable access to the mesh (for assertions and custom metrics).
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Mutable access to the mesh, for workloads that manage additional
+    /// flows (e.g. video-conference client traffic).
+    pub fn mesh_mut(&mut self) -> &mut Mesh {
+        &mut self.mesh
+    }
+
+    /// Immutable access to the cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The net-monitor (probe overhead accounting etc.).
+    pub fn netmon(&self) -> &NetMonitor {
+        &self.netmon
+    }
+
+    /// Run statistics (migrations, rounds, failures).
+    pub fn stats(&self) -> &EnvStats {
+        &self.stats
+    }
+
+    /// True while a component is hard-down due to a restart.
+    pub fn component_down(&self, c: ComponentId) -> bool {
+        self.restarts
+            .get(&c)
+            .is_some_and(|&(start, model)| model.is_down(start, self.mesh.now()))
+    }
+
+    /// Residual restart slowdown factor for a component (1.0 = healthy).
+    pub fn slowdown(&self, c: ComponentId) -> f64 {
+        self.restarts
+            .get(&c)
+            .map_or(1.0, |&(start, model)| model.slowdown_at(start, self.mesh.now()))
+    }
+
+    /// Marks a component as restarted now (for restart-cost experiments
+    /// like Fig. 14a, independent of any migration).
+    pub fn force_restart(&mut self, c: ComponentId) {
+        self.restarts.insert(c, (self.mesh.now(), self.cfg.restart));
+    }
+
+    /// The restart downtime charged to a component's most recent restart
+    /// (includes the state-transfer extension for stateful migrations);
+    /// `None` when the component never restarted.
+    pub fn restart_downtime(&self, c: ComponentId) -> Option<SimDuration> {
+        self.restarts.get(&c).map(|&(_, model)| model.downtime)
+    }
+
+    /// The bandwidth an edge currently achieves: its full demand when
+    /// co-located, the flow's goodput when remote.
+    pub fn edge_achieved(&self, from: ComponentId, to: ComponentId) -> Bandwidth {
+        match self.edges.get(&(from, to)) {
+            Some(EdgeState::Local) => self.edge_demand(from, to),
+            Some(EdgeState::Remote(f)) => self.mesh.flow_goodput(*f),
+            None => Bandwidth::ZERO,
+        }
+    }
+
+    /// Loss fraction on an edge (0 when co-located).
+    pub fn edge_loss(&self, from: ComponentId, to: ComponentId) -> f64 {
+        match self.edges.get(&(from, to)) {
+            Some(EdgeState::Remote(f)) => self.mesh.flow_loss(*f),
+            _ => 0.0,
+        }
+    }
+
+    /// End-to-end delay for a message of `size` on an edge, including
+    /// restart downtime of either endpoint (a message sent to a
+    /// restarting component waits out the remaining downtime).
+    pub fn edge_delay(&self, from: ComponentId, to: ComponentId, size: DataSize) -> SimDuration {
+        let now = self.mesh.now();
+        let mut penalty = SimDuration::ZERO;
+        for c in [from, to] {
+            if let Some(&(start, model)) = self.restarts.get(&c) {
+                if model.is_down(start, now) {
+                    let until = start + model.downtime;
+                    penalty = penalty.max(until.saturating_since(now));
+                }
+            }
+        }
+        let base = match self.edges.get(&(from, to)) {
+            Some(EdgeState::Local) | None => self.mesh.hop_latency().for_hops(0),
+            Some(EdgeState::Remote(f)) => self
+                .mesh
+                .flow_message_delay(*f, size)
+                .unwrap_or(SimDuration::from_secs(600)),
+        };
+        penalty + base
+    }
+
+    /// How one DAG edge is currently realized.
+    pub fn edge_state(&self, from: ComponentId, to: ComponentId) -> Option<EdgeState> {
+        self.edges.get(&(from, to)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bass_appdag::catalog;
+    use bass_cluster::NodeSpec;
+    use bass_core::heuristics::BfsWeighting;
+    use bass_mesh::Topology;
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    fn camera_env(policy: SchedulerPolicy) -> SimEnv {
+        let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(3), mbps(100.0)).unwrap();
+        let cluster = Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384))).unwrap();
+        let cfg = SimEnvConfig {
+            policy,
+            ..Default::default()
+        };
+        SimEnv::new(mesh, cluster, catalog::camera_pipeline(), cfg)
+    }
+
+    #[test]
+    fn deploy_creates_flows_for_crossing_edges_only() {
+        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        env.deploy(&[]).unwrap();
+        // BFS: {camera, sampler} | {detector, image, label} — only the
+        // sampler→detector edge crosses.
+        let dag = env.dag().clone();
+        let id = |n: &str| dag.component_by_name(n).unwrap().id;
+        assert_eq!(
+            env.edge_state(id("camera-stream"), id("frame-sampler")),
+            Some(EdgeState::Local)
+        );
+        assert!(matches!(
+            env.edge_state(id("frame-sampler"), id("object-detector")),
+            Some(EdgeState::Remote(_))
+        ));
+        assert_eq!(
+            env.edge_state(id("object-detector"), id("image-listener")),
+            Some(EdgeState::Local)
+        );
+        assert_eq!(env.mesh().flow_count(), 1);
+    }
+
+    #[test]
+    fn healthy_run_achieves_all_edges() {
+        let mut env = camera_env(SchedulerPolicy::LongestPath);
+        env.deploy(&[]).unwrap();
+        env.run_for(SimDuration::from_secs(5), |_| {}).unwrap();
+        let dag = env.dag().clone();
+        for e in dag.edges() {
+            let achieved = env.edge_achieved(e.from, e.to);
+            assert!(
+                (achieved.as_mbps() - e.bandwidth.as_mbps()).abs() < 1e-6,
+                "edge {}→{} achieved {achieved}",
+                e.from,
+                e.to
+            );
+            assert_eq!(env.edge_loss(e.from, e.to), 0.0);
+        }
+        assert!(env.stats().migrations.is_empty());
+    }
+
+    #[test]
+    fn link_squeeze_triggers_migration_and_recovery() {
+        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        env.deploy(&[]).unwrap();
+        let dag = env.dag().clone();
+        let id = |n: &str| dag.component_by_name(n).unwrap().id;
+        let placement = env.placement();
+        let sampler_node = placement[&id("frame-sampler")];
+        let detector_node = placement[&id("object-detector")];
+        // Squeeze the crossing link 60 s in, forever.
+        env.set_scenario(Scenario::new().at(
+            SimTime::from_secs(60),
+            crate::scenario::Action::CapLink {
+                a: sampler_node,
+                b: detector_node,
+                cap: Some(mbps(2.0)),
+            },
+        ));
+        env.run_for(SimDuration::from_secs(300), |_| {}).unwrap();
+        assert!(
+            !env.stats().migrations.is_empty(),
+            "controller must migrate off the squeezed link"
+        );
+        // After recovery the crossing edge achieves its demand again.
+        let achieved = env.edge_achieved(id("frame-sampler"), id("object-detector"));
+        assert!(
+            achieved.as_mbps() > 5.9,
+            "post-migration goodput {achieved}"
+        );
+    }
+
+    #[test]
+    fn migrations_can_be_disabled() {
+        let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(3), mbps(100.0)).unwrap();
+        let cluster = Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384))).unwrap();
+        let cfg = SimEnvConfig {
+            policy: SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            migrations_enabled: false,
+            ..Default::default()
+        };
+        let mut env = SimEnv::new(mesh, cluster, catalog::camera_pipeline(), cfg);
+        env.deploy(&[]).unwrap();
+        let dag = env.dag().clone();
+        let id = |n: &str| dag.component_by_name(n).unwrap().id;
+        let placement = env.placement();
+        env.set_scenario(Scenario::new().at(
+            SimTime::from_secs(10),
+            crate::scenario::Action::CapLink {
+                a: placement[&id("frame-sampler")],
+                b: placement[&id("object-detector")],
+                cap: Some(mbps(2.0)),
+            },
+        ));
+        env.run_for(SimDuration::from_secs(200), |_| {}).unwrap();
+        assert!(env.stats().migrations.is_empty());
+        let achieved = env.edge_achieved(id("frame-sampler"), id("object-detector"));
+        assert!(achieved.as_mbps() < 2.1, "stuck on squeezed link");
+    }
+
+    #[test]
+    fn restart_downtime_zeroes_demand_and_penalizes_delay() {
+        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        env.deploy(&[]).unwrap();
+        let dag = env.dag().clone();
+        let id = |n: &str| dag.component_by_name(n).unwrap().id;
+        env.run_for(SimDuration::from_secs(2), |_| {}).unwrap();
+        env.force_restart(id("object-detector"));
+        assert!(env.component_down(id("object-detector")));
+        env.step().unwrap();
+        // Demand of edges touching the detector collapses to zero.
+        assert!(env
+            .edge_achieved(id("frame-sampler"), id("object-detector"))
+            .is_zero());
+        // Delay includes remaining downtime.
+        let d = env.edge_delay(
+            id("frame-sampler"),
+            id("object-detector"),
+            DataSize::from_kilobytes(10),
+        );
+        assert!(d > SimDuration::from_secs(3), "delay {d}");
+        // After the restart model's recovery window everything heals.
+        env.run_for(SimDuration::from_secs(20), |_| {}).unwrap();
+        assert!(!env.component_down(id("object-detector")));
+        assert_eq!(env.slowdown(id("object-detector")), 1.0);
+    }
+
+    #[test]
+    fn pinned_components_deploy_and_never_migrate() {
+        let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(3), mbps(100.0)).unwrap();
+        let cluster = Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384))).unwrap();
+        let dag = catalog::camera_pipeline();
+        let camera = dag.component_by_name("camera-stream").unwrap().id;
+        let cfg = SimEnvConfig {
+            policy: SchedulerPolicy::LongestPath,
+            pinned: [camera].into_iter().collect(),
+            ..Default::default()
+        };
+        let mut env = SimEnv::new(mesh, cluster, dag, cfg);
+        let placement = env.deploy(&[(camera, NodeId(2))]).unwrap();
+        assert_eq!(placement[&camera], NodeId(2));
+        assert_eq!(placement.len(), 5);
+    }
+
+    #[test]
+    fn demand_factor_scales_offered_load() {
+        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        env.deploy(&[]).unwrap();
+        let dag = env.dag().clone();
+        let id = |n: &str| dag.component_by_name(n).unwrap().id;
+        env.set_edge_demand_factor(id("frame-sampler"), id("object-detector"), 0.5);
+        env.run_for(SimDuration::from_secs(2), |_| {}).unwrap();
+        let achieved = env.edge_achieved(id("frame-sampler"), id("object-detector"));
+        assert!((achieved.as_mbps() - 3.0).abs() < 1e-6, "{achieved}");
+    }
+
+    #[test]
+    fn table1_style_round_accounting() {
+        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        env.deploy(&[]).unwrap();
+        let dag = env.dag().clone();
+        let id = |n: &str| dag.component_by_name(n).unwrap().id;
+        let placement = env.placement();
+        env.set_scenario(Scenario::new().at(
+            SimTime::from_secs(30),
+            crate::scenario::Action::CapLink {
+                a: placement[&id("frame-sampler")],
+                b: placement[&id("object-detector")],
+                cap: Some(mbps(2.0)),
+            },
+        ));
+        env.run_for(SimDuration::from_secs(200), |_| {}).unwrap();
+        let rounds = &env.stats().migration_rounds;
+        assert!(!rounds.is_empty());
+        // Each round migrated no more components than violated.
+        for &(violating, migrated) in rounds {
+            assert!(migrated <= violating);
+        }
+    }
+
+    #[test]
+    fn adaptive_routing_reroutes_around_degraded_links() {
+        // Line-ish topology: 0-1-2 plus a weak chord 0-2. Static min-hop
+        // routing sends the 0→2 edge over the chord; adaptive ETX
+        // routing detours via node 1 once the chord's weight dominates.
+        let mut topo = Topology::new();
+        for i in 0..3 {
+            topo.add_node(NodeId(i)).unwrap();
+        }
+        topo.add_link(NodeId(0), NodeId(1)).unwrap();
+        topo.add_link(NodeId(1), NodeId(2)).unwrap();
+        topo.add_link(NodeId(0), NodeId(2)).unwrap();
+        let mut mesh = Mesh::with_uniform_capacity(topo, mbps(100.0)).unwrap();
+        mesh.set_link_source(
+            NodeId(0),
+            NodeId(2),
+            bass_mesh::CapacitySource::Constant(mbps(2.0)),
+        )
+        .unwrap();
+        let cluster = Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384))).unwrap();
+        let cfg = SimEnvConfig {
+            policy: SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            migrations_enabled: false,
+            adaptive_routing: Some(SimDuration::from_secs(5)),
+            ..Default::default()
+        };
+        // Pin the pipeline so camera+sampler sit on n0 and the detector
+        // side on n2 — the crossing edge must traverse 0→2.
+        let dag = catalog::camera_pipeline();
+        let ids: Vec<ComponentId> = dag.component_ids().collect();
+        let pins: Vec<(ComponentId, NodeId)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, if i < 2 { NodeId(0) } else { NodeId(2) }))
+            .collect();
+        let mut env = SimEnv::new(mesh, cluster, dag, cfg);
+        env.deploy(&pins).unwrap();
+        let dag = env.dag().clone();
+        let id = |n: &str| dag.component_by_name(n).unwrap().id;
+        // Before adaptation kicks in, the crossing edge is starved at 2 Mbps.
+        env.run_for(SimDuration::from_secs(1), |_| {}).unwrap();
+        assert!(env.edge_achieved(id("frame-sampler"), id("object-detector")).as_mbps() < 2.1);
+        // After a routing update, it detours via n1 and achieves 6 Mbps.
+        env.run_for(SimDuration::from_secs(30), |_| {}).unwrap();
+        assert!(env.stats().route_updates >= 1);
+        let achieved = env.edge_achieved(id("frame-sampler"), id("object-detector"));
+        assert!(achieved.as_mbps() > 5.9, "rerouted goodput {achieved}");
+        assert_eq!(
+            env.mesh().path(NodeId(0), NodeId(2)).unwrap(),
+            &[NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn stateful_migration_extends_downtime_by_transfer_time() {
+        // Identical squeeze scenario, run stateless vs with a 100 MB
+        // checkpoint: the stateful migration's downtime must include the
+        // state-transfer time over the (healthy) target path.
+        let run = |state: Option<DataSize>| {
+            let (mesh, cluster) = (
+                Mesh::with_uniform_capacity(Topology::full_mesh(3), mbps(100.0)).unwrap(),
+                Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384))).unwrap(),
+            );
+            let cfg = SimEnvConfig {
+                policy: SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+                stateful_state: state,
+                ..Default::default()
+            };
+            let mut env = SimEnv::new(mesh, cluster, catalog::camera_pipeline(), cfg);
+            env.deploy(&[]).unwrap();
+            let dag = env.dag().clone();
+            let id = |n: &str| dag.component_by_name(n).unwrap().id;
+            let placement = env.placement();
+            env.set_scenario(Scenario::new().at(
+                SimTime::from_secs(30),
+                crate::scenario::Action::CapLink {
+                    a: placement[&id("frame-sampler")],
+                    b: placement[&id("object-detector")],
+                    cap: Some(mbps(1.5)),
+                },
+            ));
+            env.run_for(SimDuration::from_secs(200), |_| {}).unwrap();
+            let migrated = env.stats().migrations.first().copied();
+            (env, migrated)
+        };
+        let (stateless_env, m1) = run(None);
+        let (stateful_env, m2) = run(Some(DataSize::from_megabytes(100)));
+        let (m1, m2) = (m1.expect("stateless migrates"), m2.expect("stateful migrates"));
+        let d_stateless = stateless_env.restart_downtime(m1.component).unwrap();
+        let d_stateful = stateful_env.restart_downtime(m2.component).unwrap();
+        // 800 Mbit over a ~100 Mbps path ≈ 8 s extra.
+        assert!(
+            d_stateful > d_stateless + SimDuration::from_secs(5),
+            "stateful {d_stateful} vs stateless {d_stateless}"
+        );
+        assert!(d_stateful < d_stateless + SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn online_profiler_learns_edge_requirements() {
+        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        env.enable_online_profiling(bass_netmon::OnlineProfiler::new(0.95, 1.2, 10));
+        env.deploy(&[]).unwrap();
+        assert!(env.profiled_requirements().is_empty(), "needs warm-up");
+        env.run_for(SimDuration::from_secs(5), |_| {}).unwrap();
+        let estimates = env.profiled_requirements();
+        let dag = env.dag().clone();
+        assert_eq!(estimates.len(), dag.edge_count());
+        // Each estimate lands near requirement × safety factor (the
+        // healthy LAN serves every edge fully).
+        for (from, to, est) in estimates {
+            let required = dag.bandwidth_between(from, to);
+            let ratio = est.as_bps() / required.as_bps();
+            assert!((1.0..=1.3).contains(&ratio), "{from}->{to}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deploy")]
+    fn step_before_deploy_panics() {
+        let mut env = camera_env(SchedulerPolicy::LongestPath);
+        let _ = env.step();
+    }
+}

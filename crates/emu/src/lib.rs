@@ -1,0 +1,29 @@
+//! Discrete-time emulation harness: the stand-in for the paper's
+//! CloudLab testbed.
+//!
+//! [`SimEnv`] owns one application deployment end to end: the mesh
+//! (with trace-driven link capacities), the compute cluster, the chosen
+//! scheduler, the net-monitor, and the bandwidth controller. Each fixed
+//! time step it:
+//!
+//! 1. applies any scenario actions due (the `tc` script),
+//! 2. pushes the application's current per-edge demands into the mesh,
+//! 3. advances the mesh (capacity refresh, max-min reallocation, queue
+//!    integration),
+//! 4. feeds passive goodput measurements to the monitor, and
+//! 5. runs the controller, enacting any planned migrations (cluster
+//!    relocation, flow rebinding, restart downtime).
+//!
+//! Workload models (crate `bass-apps`) drive demands and read delays.
+//!
+//! - [`mod@env`]: the environment facade.
+//! - [`scenario`]: timed network actions (`tc` equivalents).
+//! - [`metrics`]: time-series / percentile recording for experiments.
+
+pub mod env;
+pub mod metrics;
+pub mod scenario;
+
+pub use env::{EdgeState, EnvError, SimEnv, SimEnvConfig};
+pub use metrics::Recorder;
+pub use scenario::{Action, Scenario};

@@ -1,0 +1,216 @@
+//! Experiment metric recording: named time series and sample batches.
+
+use bass_util::cdf::Cdf;
+use bass_util::stats::{Percentiles, StreamingStats};
+use bass_util::time::SimTime;
+use bass_util::timeseries::TimeSeries;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Collects named metrics during a run.
+///
+/// Two shapes are supported:
+///
+/// - **series**: `(time, value)` points (e.g. "average latency at every
+///   second", Fig. 5/13, or per-client bitrate, Fig. 12);
+/// - **samples**: unordered batches (e.g. all request latencies, from
+///   which Fig. 14's CDFs and Fig. 11's p99s are computed).
+///
+/// # Examples
+///
+/// ```
+/// use bass_emu::Recorder;
+/// use bass_util::prelude::*;
+///
+/// let mut rec = Recorder::new();
+/// rec.record_sample("latency_ms", 412.0);
+/// rec.record_sample("latency_ms", 431.0);
+/// assert_eq!(rec.percentiles("latency_ms").len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Recorder {
+    series: BTreeMap<String, TimeSeries>,
+    samples: BTreeMap<String, Vec<f64>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Appends a `(t, value)` point to the named series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the series' last point.
+    pub fn record_series(&mut self, name: &str, t: SimTime, value: f64) {
+        self.series.entry(name.to_owned()).or_default().push(t, value);
+    }
+
+    /// Adds a sample to the named batch.
+    pub fn record_sample(&mut self, name: &str, value: f64) {
+        self.samples.entry(name.to_owned()).or_default().push(value);
+    }
+
+    /// The named series (empty if never recorded).
+    pub fn series(&self, name: &str) -> TimeSeries {
+        self.series.get(name).cloned().unwrap_or_default()
+    }
+
+    /// The named sample batch (empty if never recorded).
+    pub fn samples(&self, name: &str) -> &[f64] {
+        self.samples.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Percentile summary of a sample batch.
+    pub fn percentiles(&self, name: &str) -> Percentiles {
+        Percentiles::from_samples(self.samples(name))
+    }
+
+    /// CDF of a sample batch.
+    pub fn cdf(&self, name: &str) -> Cdf {
+        Cdf::from_samples(self.samples(name))
+    }
+
+    /// Streaming statistics of a sample batch.
+    pub fn stats(&self, name: &str) -> StreamingStats {
+        self.samples(name).iter().copied().collect()
+    }
+
+    /// All series names, sorted.
+    pub fn series_names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// All sample-batch names, sorted.
+    pub fn sample_names(&self) -> Vec<&str> {
+        self.samples.keys().map(String::as_str).collect()
+    }
+
+    /// Writes one series as `time_s,value` CSV — the plotting-friendly
+    /// form of a timeline figure.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_series_csv(
+        &self,
+        name: &str,
+        mut out: impl std::io::Write,
+    ) -> std::io::Result<()> {
+        writeln!(out, "time_s,{name}")?;
+        for (t, v) in self.series(name).iter() {
+            writeln!(out, "{:.6},{v:.6}", t.as_secs_f64())?;
+        }
+        Ok(())
+    }
+
+    /// Writes one sample batch as a single-column CSV.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_samples_csv(
+        &self,
+        name: &str,
+        mut out: impl std::io::Write,
+    ) -> std::io::Result<()> {
+        writeln!(out, "{name}")?;
+        for v in self.samples(name) {
+            writeln!(out, "{v:.6}")?;
+        }
+        Ok(())
+    }
+
+    /// Merges another recorder's content into this one (series must not
+    /// overlap in time if shared; samples simply concatenate).
+    pub fn merge(&mut self, other: &Recorder) {
+        for (name, ts) in &other.series {
+            let entry = self.series.entry(name.clone()).or_default();
+            for (t, v) in ts.iter() {
+                entry.push(t, v);
+            }
+        }
+        for (name, batch) in &other.samples {
+            self.samples
+                .entry(name.clone())
+                .or_default()
+                .extend_from_slice(batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_and_samples_are_independent_namespaces() {
+        let mut r = Recorder::new();
+        r.record_series("x", SimTime::ZERO, 1.0);
+        r.record_sample("x", 2.0);
+        assert_eq!(r.series("x").len(), 1);
+        assert_eq!(r.samples("x"), &[2.0]);
+    }
+
+    #[test]
+    fn missing_names_are_empty() {
+        let r = Recorder::new();
+        assert!(r.series("nope").is_empty());
+        assert!(r.samples("nope").is_empty());
+        assert!(r.percentiles("nope").is_empty());
+        assert_eq!(r.stats("nope").count(), 0);
+    }
+
+    #[test]
+    fn percentiles_and_cdf() {
+        let mut r = Recorder::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.record_sample("lat", v);
+        }
+        assert_eq!(r.percentiles("lat").median(), 2.5);
+        assert_eq!(r.cdf("lat").fraction_at_or_below(2.0), 0.5);
+        assert_eq!(r.stats("lat").mean(), 2.5);
+    }
+
+    #[test]
+    fn names_listing() {
+        let mut r = Recorder::new();
+        r.record_series("b", SimTime::ZERO, 0.0);
+        r.record_series("a", SimTime::ZERO, 0.0);
+        r.record_sample("z", 1.0);
+        assert_eq!(r.series_names(), vec!["a", "b"]);
+        assert_eq!(r.sample_names(), vec!["z"]);
+    }
+
+    #[test]
+    fn csv_exports() {
+        let mut r = Recorder::new();
+        r.record_series("lat", SimTime::from_secs(1), 10.0);
+        r.record_series("lat", SimTime::from_secs(2), 20.0);
+        r.record_sample("p", 1.5);
+        let mut buf = Vec::new();
+        r.write_series_csv("lat", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("time_s,lat\n"));
+        assert!(text.contains("1.000000,10.000000"));
+        assert!(text.contains("2.000000,20.000000"));
+        let mut buf = Vec::new();
+        r.write_samples_csv("p", &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "p\n1.500000\n");
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Recorder::new();
+        a.record_sample("lat", 1.0);
+        a.record_series("ts", SimTime::from_secs(1), 1.0);
+        let mut b = Recorder::new();
+        b.record_sample("lat", 2.0);
+        b.record_series("ts", SimTime::from_secs(2), 2.0);
+        a.merge(&b);
+        assert_eq!(a.samples("lat"), &[1.0, 2.0]);
+        assert_eq!(a.series("ts").len(), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-link capacity sources and node egress caps.
+
+use bass_trace::BandwidthTrace;
+use bass_util::time::SimTime;
+use bass_util::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// Where a link's capacity comes from at any instant.
+///
+/// Overrides layer on top of the base source (constant or trace) exactly
+/// like a `tc` rate limit layers on top of the physical link: the
+/// effective capacity is `min(base, override)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CapacitySource {
+    /// Fixed capacity (wired links, microbenchmark LANs).
+    Constant(Bandwidth),
+    /// Capacity replayed from a recorded or generated trace.
+    Trace(BandwidthTrace),
+}
+
+impl CapacitySource {
+    /// The base capacity at time `t`.
+    pub fn capacity_at(&self, t: SimTime) -> Bandwidth {
+        match self {
+            CapacitySource::Constant(b) => *b,
+            CapacitySource::Trace(trace) => trace.capacity_at(t),
+        }
+    }
+}
+
+/// A link's capacity state: base source plus optional `tc`-style cap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkCapacity {
+    source: CapacitySource,
+    /// Optional artificial cap (the `tc` knob); `None` means unshapen.
+    cap: Option<Bandwidth>,
+}
+
+impl LinkCapacity {
+    /// Creates a capacity state from a source, with no cap.
+    pub fn new(source: CapacitySource) -> Self {
+        LinkCapacity { source, cap: None }
+    }
+
+    /// Applies or clears the artificial cap.
+    pub fn set_cap(&mut self, cap: Option<Bandwidth>) {
+        self.cap = cap;
+    }
+
+    /// The current cap, if any.
+    pub fn cap(&self) -> Option<Bandwidth> {
+        self.cap
+    }
+
+    /// Replaces the base source.
+    pub fn set_source(&mut self, source: CapacitySource) {
+        self.source = source;
+    }
+
+    /// Borrow the base source.
+    pub fn source(&self) -> &CapacitySource {
+        &self.source
+    }
+
+    /// Effective capacity at time `t`: `min(base, cap)`.
+    pub fn effective_at(&self, t: SimTime) -> Bandwidth {
+        let base = self.source.capacity_at(t);
+        match self.cap {
+            Some(c) => base.min(c),
+            None => base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bass_trace::StepScript;
+    use bass_util::time::SimDuration;
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    #[test]
+    fn constant_source() {
+        let lc = LinkCapacity::new(CapacitySource::Constant(mbps(100.0)));
+        assert_eq!(lc.effective_at(SimTime::ZERO), mbps(100.0));
+        assert_eq!(lc.effective_at(SimTime::from_secs(1000)), mbps(100.0));
+    }
+
+    #[test]
+    fn trace_source() {
+        let trace = StepScript::new("t", mbps(50.0))
+            .restrict(SimTime::from_secs(10), SimDuration::from_secs(5), mbps(5.0))
+            .compile(SimDuration::from_secs(60));
+        let lc = LinkCapacity::new(CapacitySource::Trace(trace));
+        assert_eq!(lc.effective_at(SimTime::from_secs(0)), mbps(50.0));
+        assert_eq!(lc.effective_at(SimTime::from_secs(12)), mbps(5.0));
+        assert_eq!(lc.effective_at(SimTime::from_secs(20)), mbps(50.0));
+    }
+
+    #[test]
+    fn cap_layers_like_tc() {
+        let mut lc = LinkCapacity::new(CapacitySource::Constant(mbps(1000.0)));
+        lc.set_cap(Some(mbps(30.0)));
+        assert_eq!(lc.effective_at(SimTime::ZERO), mbps(30.0));
+        assert_eq!(lc.cap(), Some(mbps(30.0)));
+        lc.set_cap(None);
+        assert_eq!(lc.effective_at(SimTime::ZERO), mbps(1000.0));
+    }
+
+    #[test]
+    fn cap_above_base_is_inert() {
+        let mut lc = LinkCapacity::new(CapacitySource::Constant(mbps(10.0)));
+        lc.set_cap(Some(mbps(100.0)));
+        assert_eq!(lc.effective_at(SimTime::ZERO), mbps(10.0));
+    }
+
+    #[test]
+    fn source_replacement() {
+        let mut lc = LinkCapacity::new(CapacitySource::Constant(mbps(10.0)));
+        lc.set_source(CapacitySource::Constant(mbps(20.0)));
+        assert_eq!(lc.effective_at(SimTime::ZERO), mbps(20.0));
+        assert!(matches!(lc.source(), CapacitySource::Constant(_)));
+    }
+}

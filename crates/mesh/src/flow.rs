@@ -1,0 +1,297 @@
+//! Flows and max-min fair bandwidth allocation.
+//!
+//! TCP-like transport on a shared network approximately converges to a
+//! max-min fair allocation; the fluid model computes that fixed point
+//! directly with the classic *progressive filling* algorithm, extended
+//! with per-flow demand caps (a flow never receives more than it asks
+//! for).
+
+use crate::topology::NodeId;
+use bass_util::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a flow registered with the mesh.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A flow's endpoints and offered demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Offered load (demand). The allocation never exceeds this.
+    pub demand: Bandwidth,
+}
+
+/// The result of a fairness computation: the rate granted to each flow.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlowAllocation {
+    rates: BTreeMap<FlowId, Bandwidth>,
+}
+
+impl FlowAllocation {
+    /// The rate granted to a flow; zero for unknown flows.
+    pub fn rate(&self, id: FlowId) -> Bandwidth {
+        self.rates.get(&id).copied().unwrap_or(Bandwidth::ZERO)
+    }
+
+    /// Iterates over `(flow, rate)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, Bandwidth)> + '_ {
+        self.rates.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of flows in the allocation.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// True when no flows were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    pub(crate) fn insert(&mut self, id: FlowId, rate: Bandwidth) {
+        self.rates.insert(id, rate);
+    }
+}
+
+/// One capacity constraint (a link, or a node egress cap) and the flows
+/// that consume it.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Available capacity of this resource.
+    pub capacity: Bandwidth,
+    /// Indices (into the demand vector) of flows crossing this resource.
+    pub members: Vec<usize>,
+}
+
+/// Computes the demand-capped max-min fair allocation.
+///
+/// `demands[i]` is flow *i*'s offered load; each [`Constraint`] couples a
+/// capacity with the set of flows that cross it. Flows that appear in no
+/// constraint are granted their full demand (loopback traffic).
+///
+/// Returns one rate per flow. The result satisfies:
+///
+/// - *feasibility*: for every constraint, the sum of member rates does
+///   not exceed its capacity (within floating-point tolerance);
+/// - *demand-boundedness*: `rate[i] <= demands[i]`;
+/// - *max-min fairness*: a flow's rate can only be below its demand if it
+///   crosses a saturated constraint on which no other member has a
+///   larger rate that could be reduced in its favor.
+pub fn max_min_allocate(demands: &[Bandwidth], constraints: &[Constraint]) -> Vec<Bandwidth> {
+    const EPS: f64 = 1e-6; // bps — far below any meaningful rate
+
+    let n = demands.len();
+    let mut rates = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    let mut remaining: Vec<f64> = constraints.iter().map(|c| c.capacity.as_bps()).collect();
+
+    // Pre-freeze zero-demand flows and flows crossing a zero-capacity
+    // constraint at rate 0; grant unconstrained flows their demand.
+    let mut constrained = vec![false; n];
+    for c in constraints {
+        for &m in &c.members {
+            assert!(m < n, "constraint references unknown flow index {m}");
+            constrained[m] = true;
+        }
+    }
+    for i in 0..n {
+        if demands[i].as_bps() <= EPS {
+            frozen[i] = true;
+        } else if !constrained[i] {
+            rates[i] = demands[i].as_bps();
+            frozen[i] = true;
+        }
+    }
+
+    loop {
+        let active: Vec<usize> = (0..n).filter(|&i| !frozen[i]).collect();
+        if active.is_empty() {
+            break;
+        }
+
+        // Smallest per-flow increment until some flow hits its demand …
+        let mut delta = f64::INFINITY;
+        for &i in &active {
+            delta = delta.min(demands[i].as_bps() - rates[i]);
+        }
+        // … or some constraint saturates.
+        for (ci, c) in constraints.iter().enumerate() {
+            let k = c.members.iter().filter(|&&m| !frozen[m]).count();
+            if k > 0 {
+                delta = delta.min(remaining[ci] / k as f64);
+            }
+        }
+        let delta = delta.max(0.0);
+
+        for &i in &active {
+            rates[i] += delta;
+        }
+        for (ci, c) in constraints.iter().enumerate() {
+            let k = c.members.iter().filter(|&&m| !frozen[m]).count();
+            remaining[ci] -= delta * k as f64;
+        }
+
+        // Freeze demand-satisfied flows and members of saturated
+        // constraints. At least one flow freezes per round (delta picked
+        // the binding resource), so the loop terminates.
+        let mut any_frozen = false;
+        for &i in &active {
+            if demands[i].as_bps() - rates[i] <= EPS {
+                frozen[i] = true;
+                any_frozen = true;
+            }
+        }
+        for (ci, c) in constraints.iter().enumerate() {
+            if remaining[ci] <= EPS {
+                for &m in &c.members {
+                    if !frozen[m] {
+                        frozen[m] = true;
+                        any_frozen = true;
+                    }
+                }
+            }
+        }
+        if !any_frozen {
+            // Defensive: numerical corner where nothing moved.
+            break;
+        }
+    }
+
+    rates.into_iter().map(Bandwidth::from_bps).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    fn assert_mbps(actual: Bandwidth, expected: f64) {
+        assert!(
+            (actual.as_mbps() - expected).abs() < 1e-6,
+            "expected {expected} Mbps, got {}",
+            actual.as_mbps()
+        );
+    }
+
+    #[test]
+    fn equal_share_on_single_link() {
+        let demands = vec![mbps(100.0), mbps(100.0)];
+        let constraints = vec![Constraint { capacity: mbps(10.0), members: vec![0, 1] }];
+        let rates = max_min_allocate(&demands, &constraints);
+        assert_mbps(rates[0], 5.0);
+        assert_mbps(rates[1], 5.0);
+    }
+
+    #[test]
+    fn demand_caps_respected_and_excess_redistributed() {
+        // Flow 0 wants only 2; flow 1 takes the remaining 8.
+        let demands = vec![mbps(2.0), mbps(100.0)];
+        let constraints = vec![Constraint { capacity: mbps(10.0), members: vec![0, 1] }];
+        let rates = max_min_allocate(&demands, &constraints);
+        assert_mbps(rates[0], 2.0);
+        assert_mbps(rates[1], 8.0);
+    }
+
+    #[test]
+    fn unconstrained_flow_gets_demand() {
+        let demands = vec![mbps(42.0)];
+        let rates = max_min_allocate(&demands, &[]);
+        assert_mbps(rates[0], 42.0);
+    }
+
+    #[test]
+    fn zero_capacity_starves_members() {
+        let demands = vec![mbps(5.0), mbps(5.0)];
+        let constraints = vec![
+            Constraint { capacity: Bandwidth::ZERO, members: vec![0] },
+            Constraint { capacity: mbps(10.0), members: vec![1] },
+        ];
+        let rates = max_min_allocate(&demands, &constraints);
+        assert_mbps(rates[0], 0.0);
+        assert_mbps(rates[1], 5.0);
+    }
+
+    #[test]
+    fn classic_two_link_example() {
+        // Textbook: link A (cap 10) carries flows 0,1; link B (cap 4)
+        // carries flows 1,2. Max-min: flow1 = 2, flow2 = 2, flow0 = 8.
+        let demands = vec![mbps(100.0), mbps(100.0), mbps(100.0)];
+        let constraints = vec![
+            Constraint { capacity: mbps(10.0), members: vec![0, 1] },
+            Constraint { capacity: mbps(4.0), members: vec![1, 2] },
+        ];
+        let rates = max_min_allocate(&demands, &constraints);
+        assert_mbps(rates[1], 2.0);
+        assert_mbps(rates[2], 2.0);
+        assert_mbps(rates[0], 8.0);
+    }
+
+    #[test]
+    fn multi_hop_flow_limited_by_bottleneck() {
+        // A flow crossing caps 10 then 3 gets 3.
+        let demands = vec![mbps(100.0)];
+        let constraints = vec![
+            Constraint { capacity: mbps(10.0), members: vec![0] },
+            Constraint { capacity: mbps(3.0), members: vec![0] },
+        ];
+        let rates = max_min_allocate(&demands, &constraints);
+        assert_mbps(rates[0], 3.0);
+    }
+
+    #[test]
+    fn zero_demand_flow_gets_zero() {
+        let demands = vec![Bandwidth::ZERO, mbps(5.0)];
+        let constraints = vec![Constraint { capacity: mbps(10.0), members: vec![0, 1] }];
+        let rates = max_min_allocate(&demands, &constraints);
+        assert_mbps(rates[0], 0.0);
+        assert_mbps(rates[1], 5.0);
+    }
+
+    #[test]
+    fn feasibility_holds_for_many_flows() {
+        let demands: Vec<Bandwidth> = (1..=20).map(|i| mbps(i as f64)).collect();
+        // Two overlapping constraints.
+        let constraints = vec![
+            Constraint { capacity: mbps(30.0), members: (0..10).collect() },
+            Constraint { capacity: mbps(25.0), members: (5..20).collect() },
+        ];
+        let rates = max_min_allocate(&demands, &constraints);
+        for c in &constraints {
+            let used: f64 = c.members.iter().map(|&m| rates[m].as_mbps()).sum();
+            assert!(used <= c.capacity.as_mbps() + 1e-6, "constraint violated: {used}");
+        }
+        for (i, r) in rates.iter().enumerate() {
+            assert!(r.as_mbps() <= demands[i].as_mbps() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn allocation_accessors() {
+        let mut alloc = FlowAllocation::default();
+        assert!(alloc.is_empty());
+        alloc.insert(FlowId(3), mbps(1.0));
+        assert_eq!(alloc.len(), 1);
+        assert_mbps(alloc.rate(FlowId(3)), 1.0);
+        assert_mbps(alloc.rate(FlowId(99)), 0.0);
+        assert_eq!(alloc.iter().count(), 1);
+        assert_eq!(FlowId(3).to_string(), "f3");
+    }
+}

@@ -1,0 +1,941 @@
+//! The [`Mesh`] facade: topology + routing + capacities + flows + queues.
+
+use crate::capacity::{CapacitySource, LinkCapacity};
+use crate::flow::{max_min_allocate, Constraint, FlowAllocation, FlowId, FlowSpec};
+use crate::queueing::{FlowQueue, HopLatency};
+use crate::routing::RoutingTable;
+use crate::topology::{LinkId, NodeId, Topology};
+use bass_trace::TraceBundle;
+use bass_util::time::{SimDuration, SimTime};
+use bass_util::units::{Bandwidth, DataSize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`Mesh`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// The referenced node does not exist.
+    UnknownNode(NodeId),
+    /// No link exists between the two nodes.
+    UnknownLink(NodeId, NodeId),
+    /// No route exists between the two nodes.
+    Unreachable(NodeId, NodeId),
+    /// The referenced flow does not exist.
+    UnknownFlow(FlowId),
+    /// The topology is not connected (BASS assumes no partitions).
+    NotConnected,
+    /// A trace bundle is missing a trace for a link.
+    MissingTrace(String),
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            MeshError::UnknownLink(a, b) => write!(f, "no link between {a} and {b}"),
+            MeshError::Unreachable(a, b) => write!(f, "no route from {a} to {b}"),
+            MeshError::UnknownFlow(id) => write!(f, "unknown flow {id}"),
+            MeshError::NotConnected => write!(f, "topology is not connected"),
+            MeshError::MissingTrace(k) => write!(f, "trace bundle has no trace for link {k}"),
+        }
+    }
+}
+
+impl Error for MeshError {}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    spec: FlowSpec,
+    /// Links crossed by the flow's route (empty for loopback).
+    links: Vec<LinkId>,
+    /// Nodes whose egress the flow consumes (every path node except dst).
+    egress: Vec<NodeId>,
+    queue: FlowQueue,
+}
+
+/// A simulated wireless mesh carrying fluid flows.
+///
+/// Time advances with [`Mesh::advance`]; at each step the mesh refreshes
+/// link capacities from their sources, recomputes the max-min fair
+/// allocation across all registered flows, and integrates per-flow
+/// queues.
+///
+/// # Examples
+///
+/// ```
+/// use bass_mesh::{Mesh, NodeId, Topology};
+/// use bass_util::prelude::*;
+///
+/// let topo = Topology::full_mesh(3);
+/// let mut mesh = Mesh::with_uniform_capacity(topo, Bandwidth::from_mbps(100.0))?;
+/// let flow = mesh.add_flow(NodeId(0), NodeId(1), Bandwidth::from_mbps(40.0))?;
+/// mesh.advance(SimDuration::from_millis(100));
+/// assert_eq!(mesh.flow_rate(flow).as_mbps(), 40.0);
+/// # Ok::<(), bass_mesh::MeshError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    topo: Topology,
+    routes: RoutingTable,
+    link_caps: Vec<LinkCapacity>,
+    egress_caps: BTreeMap<NodeId, Bandwidth>,
+    flows: BTreeMap<FlowId, FlowState>,
+    next_flow: u64,
+    now: SimTime,
+    hop_latency: HopLatency,
+    allocation: FlowAllocation,
+    /// Allocated bps currently crossing each link (refreshed per step).
+    link_used_bps: Vec<f64>,
+    /// Allocated bps currently leaving each node (refreshed per step).
+    egress_used_bps: BTreeMap<NodeId, f64>,
+}
+
+impl Mesh {
+    /// Creates a mesh over a connected topology; every link starts with
+    /// zero capacity until a source is assigned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::NotConnected`] for disconnected topologies —
+    /// the paper's assumption is "no partitioning of the network".
+    pub fn new(topo: Topology) -> Result<Self, MeshError> {
+        if !topo.is_connected() {
+            return Err(MeshError::NotConnected);
+        }
+        let routes = RoutingTable::compute(&topo);
+        let link_caps = (0..topo.link_count())
+            .map(|_| LinkCapacity::new(CapacitySource::Constant(Bandwidth::ZERO)))
+            .collect();
+        let link_count = topo.link_count();
+        Ok(Mesh {
+            topo,
+            routes,
+            link_caps,
+            egress_caps: BTreeMap::new(),
+            flows: BTreeMap::new(),
+            next_flow: 0,
+            now: SimTime::ZERO,
+            hop_latency: HopLatency::default(),
+            allocation: FlowAllocation::default(),
+            link_used_bps: vec![0.0; link_count],
+            egress_used_bps: BTreeMap::new(),
+        })
+    }
+
+    /// Creates a mesh where every link has the same constant capacity
+    /// (the microbenchmark LAN shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::NotConnected`] for disconnected topologies.
+    pub fn with_uniform_capacity(topo: Topology, capacity: Bandwidth) -> Result<Self, MeshError> {
+        let mut mesh = Mesh::new(topo)?;
+        for cap in &mut mesh.link_caps {
+            cap.set_source(CapacitySource::Constant(capacity));
+        }
+        Ok(mesh)
+    }
+
+    /// Creates a mesh whose link capacities replay a [`TraceBundle`];
+    /// every link must have a trace under [`TraceBundle::link_key`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::NotConnected`] or [`MeshError::MissingTrace`].
+    pub fn from_bundle(topo: Topology, bundle: &TraceBundle) -> Result<Self, MeshError> {
+        let mut mesh = Mesh::new(topo)?;
+        for (lid, link) in mesh.topo.links().collect::<Vec<_>>() {
+            let key = TraceBundle::link_key(link.a.0, link.b.0);
+            let trace = bundle
+                .get(&key)
+                .ok_or_else(|| MeshError::MissingTrace(key.clone()))?;
+            mesh.link_caps[lid.0].set_source(CapacitySource::Trace(trace.clone()));
+        }
+        Ok(mesh)
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Borrow the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Borrow the routing table.
+    pub fn routes(&self) -> &RoutingTable {
+        &self.routes
+    }
+
+    /// The hop-latency model in use.
+    pub fn hop_latency(&self) -> HopLatency {
+        self.hop_latency
+    }
+
+    /// Replaces the hop-latency model.
+    pub fn set_hop_latency(&mut self, hl: HopLatency) {
+        self.hop_latency = hl;
+    }
+
+    /// Switches the mesh to quality-aware (ETX-style) routing: routes
+    /// minimize the total per-link weight returned by `weight_of`
+    /// (lower is better) instead of hop count. Every registered flow is
+    /// re-routed onto its new path (queues are preserved — rerouting a
+    /// live mesh does not drop queued data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weight is negative or non-finite.
+    pub fn use_weighted_routing(&mut self, weight_of: impl FnMut(LinkId) -> f64) {
+        self.routes = RoutingTable::compute_weighted(&self.topo, weight_of);
+        // Re-route existing flows. Connectivity cannot change (weights
+        // only reorder paths), so the expects are safe.
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        for id in ids {
+            let (src, dst) = {
+                let f = &self.flows[&id];
+                (f.spec.src, f.spec.dst)
+            };
+            if src == dst {
+                continue;
+            }
+            let links = self
+                .routes
+                .path_links(&self.topo, src, dst)
+                .expect("weighted routing preserves connectivity");
+            let path = self.routes.path(src, dst).expect("path exists");
+            let egress = path[..path.len() - 1].to_vec();
+            let f = self.flows.get_mut(&id).expect("flow exists");
+            f.links = links;
+            f.egress = egress;
+        }
+        self.reallocate();
+    }
+
+    // ----- capacity control ------------------------------------------------
+
+    /// Sets the base capacity source for the link between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownLink`] if no such link exists.
+    pub fn set_link_source(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        source: CapacitySource,
+    ) -> Result<(), MeshError> {
+        let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
+        self.link_caps[lid.0].set_source(source);
+        Ok(())
+    }
+
+    /// Applies (or clears, with `None`) a `tc`-style cap on a link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownLink`] if no such link exists.
+    pub fn set_link_cap(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        cap: Option<Bandwidth>,
+    ) -> Result<(), MeshError> {
+        let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
+        self.link_caps[lid.0].set_cap(cap);
+        Ok(())
+    }
+
+    /// Applies (or clears) a cap on a node's total outgoing traffic —
+    /// the paper's "limit outgoing traffic at node 2 to 30 Mbps".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownNode`] if the node does not exist.
+    pub fn set_node_egress_cap(
+        &mut self,
+        node: NodeId,
+        cap: Option<Bandwidth>,
+    ) -> Result<(), MeshError> {
+        if !self.topo.contains_node(node) {
+            return Err(MeshError::UnknownNode(node));
+        }
+        match cap {
+            Some(c) => {
+                self.egress_caps.insert(node, c);
+            }
+            None => {
+                self.egress_caps.remove(&node);
+            }
+        }
+        Ok(())
+    }
+
+    // ----- flows ------------------------------------------------------------
+
+    /// Registers a flow from `src` to `dst` with the given demand.
+    /// Loopback flows (`src == dst`) are allowed and are never
+    /// network-constrained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownNode`] or [`MeshError::Unreachable`].
+    pub fn add_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        demand: Bandwidth,
+    ) -> Result<FlowId, MeshError> {
+        for &n in &[src, dst] {
+            if !self.topo.contains_node(n) {
+                return Err(MeshError::UnknownNode(n));
+            }
+        }
+        let (links, egress) = if src == dst {
+            (Vec::new(), Vec::new())
+        } else {
+            let links = self
+                .routes
+                .path_links(&self.topo, src, dst)
+                .ok_or(MeshError::Unreachable(src, dst))?;
+            let path = self.routes.path(src, dst).expect("path exists");
+            let egress = path[..path.len() - 1].to_vec();
+            (links, egress)
+        };
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(
+            id,
+            FlowState {
+                spec: FlowSpec { src, dst, demand },
+                links,
+                egress,
+                queue: FlowQueue::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Updates a flow's offered demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownFlow`] for unknown ids.
+    pub fn set_flow_demand(&mut self, id: FlowId, demand: Bandwidth) -> Result<(), MeshError> {
+        let flow = self.flows.get_mut(&id).ok_or(MeshError::UnknownFlow(id))?;
+        flow.spec.demand = demand;
+        Ok(())
+    }
+
+    /// Removes a flow, dropping its queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownFlow`] for unknown ids.
+    pub fn remove_flow(&mut self, id: FlowId) -> Result<(), MeshError> {
+        self.flows.remove(&id).ok_or(MeshError::UnknownFlow(id))?;
+        Ok(())
+    }
+
+    /// Clears a flow's queue backlog (connection re-establishment after a
+    /// component restart).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownFlow`] for unknown ids.
+    pub fn reset_flow_queue(&mut self, id: FlowId) -> Result<(), MeshError> {
+        let flow = self.flows.get_mut(&id).ok_or(MeshError::UnknownFlow(id))?;
+        flow.queue.reset();
+        Ok(())
+    }
+
+    /// The spec of a flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownFlow`] for unknown ids.
+    pub fn flow_spec(&self, id: FlowId) -> Result<FlowSpec, MeshError> {
+        self.flows
+            .get(&id)
+            .map(|f| f.spec)
+            .ok_or(MeshError::UnknownFlow(id))
+    }
+
+    /// Number of registered flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    // ----- stepping ---------------------------------------------------------
+
+    /// Advances simulation time by `dt`: refresh capacities, recompute
+    /// the fair allocation, and integrate queues.
+    pub fn advance(&mut self, dt: SimDuration) {
+        self.now += dt;
+        self.reallocate();
+        // Per-link utilization for the queueing model.
+        let utilization: Vec<f64> = (0..self.topo.link_count())
+            .map(|i| {
+                let cap = self.link_caps[i].effective_at(self.now);
+                if cap.is_zero() {
+                    if self.link_used_bps[i] > 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    (self.link_used_bps[i] / cap.as_bps()).clamp(0.0, 1.0)
+                }
+            })
+            .collect();
+        for (&id, flow) in self.flows.iter_mut() {
+            let allocated = self.allocation.rate(id);
+            flow.queue.advance(dt, flow.spec.demand, allocated);
+            let rho = flow
+                .links
+                .iter()
+                .map(|l| utilization[l.0])
+                .fold(0.0f64, f64::max);
+            flow.queue.set_path_utilization(rho);
+        }
+    }
+
+    /// Recomputes the allocation at the current time without advancing
+    /// queues (useful right after changing demands or capacities).
+    pub fn reallocate(&mut self) {
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        // A flow with queued backlog asks for extra bandwidth to drain it
+        // (targeting a one-second drain), on top of its offered load —
+        // this is how a real transport keeps transmitting a queue even
+        // after the application stops producing.
+        let demands: Vec<Bandwidth> = ids
+            .iter()
+            .map(|id| {
+                let f = &self.flows[id];
+                let drain = f.queue.backlog().rate_over(SimDuration::from_secs(1));
+                f.spec.demand + drain
+            })
+            .collect();
+
+        let mut constraints = Vec::new();
+        // One constraint per link.
+        for (lid, _) in self.topo.links() {
+            let members: Vec<usize> = ids
+                .iter()
+                .enumerate()
+                .filter(|(_, id)| self.flows[id].links.contains(&lid))
+                .map(|(i, _)| i)
+                .collect();
+            constraints.push(Constraint {
+                capacity: self.link_caps[lid.0].effective_at(self.now),
+                members,
+            });
+        }
+        let link_constraints = constraints.len();
+        // One constraint per node egress cap.
+        for (&node, &cap) in &self.egress_caps {
+            let members: Vec<usize> = ids
+                .iter()
+                .enumerate()
+                .filter(|(_, id)| self.flows[id].egress.contains(&node))
+                .map(|(i, _)| i)
+                .collect();
+            constraints.push(Constraint { capacity: cap, members });
+        }
+
+        let rates = max_min_allocate(&demands, &constraints);
+        let mut allocation = FlowAllocation::default();
+        for (i, id) in ids.iter().enumerate() {
+            allocation.insert(*id, rates[i]);
+        }
+
+        // Per-link and per-node-egress usage for monitoring.
+        self.link_used_bps = vec![0.0; self.topo.link_count()];
+        self.egress_used_bps.clear();
+        for (i, id) in ids.iter().enumerate() {
+            for lid in &self.flows[id].links {
+                self.link_used_bps[lid.0] += rates[i].as_bps();
+            }
+            for &node in &self.flows[id].egress {
+                *self.egress_used_bps.entry(node).or_insert(0.0) += rates[i].as_bps();
+            }
+        }
+        let _ = link_constraints;
+        self.allocation = allocation;
+    }
+
+    // ----- queries ----------------------------------------------------------
+
+    /// The rate currently allocated to a flow (zero for unknown flows).
+    pub fn flow_rate(&self, id: FlowId) -> Bandwidth {
+        self.allocation.rate(id)
+    }
+
+    /// A flow's goodput: the smaller of demand and allocation.
+    pub fn flow_goodput(&self, id: FlowId) -> Bandwidth {
+        match self.flows.get(&id) {
+            Some(f) => f.spec.demand.min(self.allocation.rate(id)),
+            None => Bandwidth::ZERO,
+        }
+    }
+
+    /// Loss fraction for a flow treated as real-time traffic.
+    pub fn flow_loss(&self, id: FlowId) -> f64 {
+        match self.flows.get(&id) {
+            Some(f) => FlowQueue::loss_fraction(f.spec.demand, self.allocation.rate(id)),
+            None => 0.0,
+        }
+    }
+
+    /// End-to-end delay to deliver a message of `size` on a flow at the
+    /// current allocation (queueing + serialization + hop latency).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownFlow`] for unknown ids.
+    pub fn flow_message_delay(&self, id: FlowId, size: DataSize) -> Result<SimDuration, MeshError> {
+        let flow = self.flows.get(&id).ok_or(MeshError::UnknownFlow(id))?;
+        let hops = flow.links.len();
+        if hops == 0 {
+            // Loopback: pure local latency plus negligible copy time.
+            return Ok(self.hop_latency.for_hops(0));
+        }
+        let capacity = flow
+            .links
+            .iter()
+            .map(|l| self.link_caps[l.0].effective_at(self.now))
+            .fold(Bandwidth::from_bps(f64::INFINITY), Bandwidth::min);
+        let allocated = self.allocation.rate(id);
+        Ok(flow.queue.transfer_delay(size, capacity, allocated) + self.hop_latency.for_hops(hops))
+    }
+
+    /// A flow's current queue backlog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownFlow`] for unknown ids.
+    pub fn flow_backlog(&self, id: FlowId) -> Result<DataSize, MeshError> {
+        self.flows
+            .get(&id)
+            .map(|f| f.queue.backlog())
+            .ok_or(MeshError::UnknownFlow(id))
+    }
+
+    /// Current capacity of the link between `a` and `b`, as a probe
+    /// would observe it: the link's own capacity further limited by any
+    /// egress cap at either endpoint (an interface-level `tc` limit
+    /// constrains every link of that node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownLink`] if no such link exists.
+    pub fn link_capacity(&self, a: NodeId, b: NodeId) -> Result<Bandwidth, MeshError> {
+        let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
+        let mut cap = self.link_caps[lid.0].effective_at(self.now);
+        for n in [a, b] {
+            if let Some(&c) = self.egress_caps.get(&n) {
+                cap = cap.min(c);
+            }
+        }
+        Ok(cap)
+    }
+
+    /// Allocated traffic currently crossing the link between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownLink`] if no such link exists.
+    pub fn link_usage(&self, a: NodeId, b: NodeId) -> Result<Bandwidth, MeshError> {
+        let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
+        Ok(Bandwidth::from_bps(self.link_used_bps[lid.0]))
+    }
+
+    /// Spare capacity on the link between `a` and `b`: the link's own
+    /// headroom, further limited by the spare egress at either capped
+    /// endpoint (what a probe over this link could actually push).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownLink`] if no such link exists.
+    pub fn link_available(&self, a: NodeId, b: NodeId) -> Result<Bandwidth, MeshError> {
+        let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
+        let mut avail = self.link_caps[lid.0]
+            .effective_at(self.now)
+            .saturating_sub(Bandwidth::from_bps(self.link_used_bps[lid.0]));
+        for n in [a, b] {
+            if let Some(&c) = self.egress_caps.get(&n) {
+                let used = self.egress_used_bps.get(&n).copied().unwrap_or(0.0);
+                avail = avail.min(c.saturating_sub(Bandwidth::from_bps(used)));
+            }
+        }
+        Ok(avail)
+    }
+
+    /// The routed node path from `src` to `dst` (the traceroute view).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::Unreachable`] when no route exists.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Result<&[NodeId], MeshError> {
+        self.routes
+            .path(src, dst)
+            .ok_or(MeshError::Unreachable(src, dst))
+    }
+
+    /// Capacity for traffic sent from `u` across the link to `v`: the
+    /// link's capacity limited by `u`'s egress cap (the transmitter's
+    /// interface shaping), but not by `v`'s — receiving is not shaped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownLink`] if no such link exists.
+    pub fn directed_link_capacity(&self, u: NodeId, v: NodeId) -> Result<Bandwidth, MeshError> {
+        let lid = self.topo.find_link(u, v).ok_or(MeshError::UnknownLink(u, v))?;
+        let mut cap = self.link_caps[lid.0].effective_at(self.now);
+        if let Some(&c) = self.egress_caps.get(&u) {
+            cap = cap.min(c);
+        }
+        Ok(cap)
+    }
+
+    /// Spare bandwidth for new traffic sent from `u` across the link to
+    /// `v`: the link's headroom limited by `u`'s spare egress.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownLink`] if no such link exists.
+    pub fn directed_link_available(&self, u: NodeId, v: NodeId) -> Result<Bandwidth, MeshError> {
+        let lid = self.topo.find_link(u, v).ok_or(MeshError::UnknownLink(u, v))?;
+        let mut avail = self.link_caps[lid.0]
+            .effective_at(self.now)
+            .saturating_sub(Bandwidth::from_bps(self.link_used_bps[lid.0]));
+        if let Some(&c) = self.egress_caps.get(&u) {
+            let used = self.egress_used_bps.get(&u).copied().unwrap_or(0.0);
+            avail = avail.min(c.saturating_sub(Bandwidth::from_bps(used)));
+        }
+        Ok(avail)
+    }
+
+    /// Bottleneck *capacity* along the routed path from `src` to `dst` —
+    /// what a max-capacity probe of the path reports. Directional: only
+    /// each hop's transmitting side's egress cap applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::Unreachable`] when no route exists.
+    pub fn path_bottleneck_capacity(&self, src: NodeId, dst: NodeId) -> Result<Bandwidth, MeshError> {
+        if src == dst {
+            return Ok(Bandwidth::from_bps(f64::INFINITY));
+        }
+        let path = self
+            .routes
+            .path(src, dst)
+            .ok_or(MeshError::Unreachable(src, dst))?;
+        let mut bottleneck = Bandwidth::from_bps(f64::INFINITY);
+        for w in path.windows(2) {
+            bottleneck = bottleneck.min(self.directed_link_capacity(w[0], w[1])?);
+        }
+        Ok(bottleneck)
+    }
+
+    /// Bottleneck *available* (unused) bandwidth along the routed path —
+    /// what a headroom probe observes. Directional, like
+    /// [`Mesh::path_bottleneck_capacity`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::Unreachable`] when no route exists.
+    pub fn path_available(&self, src: NodeId, dst: NodeId) -> Result<Bandwidth, MeshError> {
+        if src == dst {
+            return Ok(Bandwidth::from_bps(f64::INFINITY));
+        }
+        let path = self
+            .routes
+            .path(src, dst)
+            .ok_or(MeshError::Unreachable(src, dst))?;
+        let mut avail = Bandwidth::from_bps(f64::INFINITY);
+        for w in path.windows(2) {
+            avail = avail.min(self.directed_link_available(w[0], w[1])?);
+        }
+        Ok(avail)
+    }
+
+    /// Sum of current capacities of all links incident to `node` — the
+    /// "combined capacity across all of the node's links" used by BASS's
+    /// node ranking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownNode`] if the node does not exist.
+    pub fn node_total_link_capacity(&self, node: NodeId) -> Result<Bandwidth, MeshError> {
+        if !self.topo.contains_node(node) {
+            return Err(MeshError::UnknownNode(node));
+        }
+        Ok(self
+            .topo
+            .incident_links(node)
+            .into_iter()
+            .map(|l| self.link_caps[l.0].effective_at(self.now))
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bass_trace::{BandwidthTrace, StepScript};
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    fn approx(a: Bandwidth, b: f64) {
+        assert!((a.as_mbps() - b).abs() < 1e-6, "expected {b}, got {}", a.as_mbps());
+    }
+
+    fn three_node_lan() -> Mesh {
+        Mesh::with_uniform_capacity(Topology::full_mesh(3), mbps(100.0)).unwrap()
+    }
+
+    #[test]
+    fn rejects_disconnected_topology() {
+        let mut topo = Topology::new();
+        topo.add_node(NodeId(0)).unwrap();
+        topo.add_node(NodeId(1)).unwrap();
+        assert_eq!(Mesh::new(topo).unwrap_err(), MeshError::NotConnected);
+    }
+
+    #[test]
+    fn single_flow_gets_demand() {
+        let mut mesh = three_node_lan();
+        let f = mesh.add_flow(NodeId(0), NodeId(1), mbps(30.0)).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_rate(f), 30.0);
+        approx(mesh.flow_goodput(f), 30.0);
+        assert_eq!(mesh.flow_loss(f), 0.0);
+    }
+
+    #[test]
+    fn flows_share_a_link_fairly() {
+        let mut mesh = three_node_lan();
+        let f1 = mesh.add_flow(NodeId(0), NodeId(1), mbps(100.0)).unwrap();
+        let f2 = mesh.add_flow(NodeId(0), NodeId(1), mbps(100.0)).unwrap();
+        // Both flows also share node 0's implicit egress only if capped;
+        // here only the 100 Mbps link binds → 50/50.
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_rate(f1), 50.0);
+        approx(mesh.flow_rate(f2), 50.0);
+    }
+
+    #[test]
+    fn link_cap_behaves_like_tc() {
+        let mut mesh = three_node_lan();
+        let f = mesh.add_flow(NodeId(1), NodeId(2), mbps(100.0)).unwrap();
+        mesh.set_link_cap(NodeId(1), NodeId(2), Some(mbps(25.0))).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_rate(f), 25.0);
+        approx(mesh.link_capacity(NodeId(1), NodeId(2)).unwrap(), 25.0);
+        mesh.set_link_cap(NodeId(1), NodeId(2), None).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_rate(f), 100.0);
+    }
+
+    #[test]
+    fn node_egress_cap_limits_all_outgoing_flows() {
+        // The paper's Fig. 3: restrict node 2's outgoing traffic.
+        let mut mesh = three_node_lan();
+        let f1 = mesh.add_flow(NodeId(2), NodeId(0), mbps(100.0)).unwrap();
+        let f2 = mesh.add_flow(NodeId(2), NodeId(1), mbps(100.0)).unwrap();
+        mesh.set_node_egress_cap(NodeId(2), Some(mbps(30.0))).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_rate(f1), 15.0);
+        approx(mesh.flow_rate(f2), 15.0);
+        // Traffic *into* node 2 is unaffected.
+        let f3 = mesh.add_flow(NodeId(0), NodeId(2), mbps(60.0)).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_rate(f3), 60.0);
+    }
+
+    #[test]
+    fn loopback_flow_is_unconstrained() {
+        let mut mesh = three_node_lan();
+        let f = mesh.add_flow(NodeId(0), NodeId(0), mbps(10_000.0)).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_rate(f), 10_000.0);
+        let d = mesh
+            .flow_message_delay(f, DataSize::from_megabytes(1))
+            .unwrap();
+        assert_eq!(d, SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn trace_driven_capacity_changes_over_time() {
+        let mut topo = Topology::new();
+        topo.add_node(NodeId(0)).unwrap();
+        topo.add_node(NodeId(1)).unwrap();
+        topo.add_link(NodeId(0), NodeId(1)).unwrap();
+        let trace: BandwidthTrace = StepScript::new("l", mbps(50.0))
+            .restrict(SimTime::from_secs(10), SimDuration::from_secs(10), mbps(5.0))
+            .compile(SimDuration::from_secs(60));
+        let mut mesh = Mesh::new(topo).unwrap();
+        mesh.set_link_source(NodeId(0), NodeId(1), CapacitySource::Trace(trace))
+            .unwrap();
+        let f = mesh.add_flow(NodeId(0), NodeId(1), mbps(100.0)).unwrap();
+        mesh.advance(SimDuration::from_secs(5));
+        approx(mesh.flow_rate(f), 50.0);
+        mesh.advance(SimDuration::from_secs(10)); // now = 15s, inside restriction
+        approx(mesh.flow_rate(f), 5.0);
+        assert!(mesh.flow_loss(f) > 0.9);
+        mesh.advance(SimDuration::from_secs(10)); // now = 25s, lifted
+        approx(mesh.flow_rate(f), 50.0);
+    }
+
+    #[test]
+    fn multi_hop_flow_consumes_all_path_links() {
+        // Line 0-1-2: flow 0→2 crosses both links.
+        let mut topo = Topology::new();
+        for i in 0..3 {
+            topo.add_node(NodeId(i)).unwrap();
+        }
+        topo.add_link(NodeId(0), NodeId(1)).unwrap();
+        topo.add_link(NodeId(1), NodeId(2)).unwrap();
+        let mut mesh = Mesh::with_uniform_capacity(topo, mbps(10.0)).unwrap();
+        let f = mesh.add_flow(NodeId(0), NodeId(2), mbps(100.0)).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_rate(f), 10.0);
+        approx(mesh.link_usage(NodeId(0), NodeId(1)).unwrap(), 10.0);
+        approx(mesh.link_usage(NodeId(1), NodeId(2)).unwrap(), 10.0);
+        approx(mesh.link_available(NodeId(0), NodeId(1)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn path_queries() {
+        let mut mesh = three_node_lan();
+        let _f = mesh.add_flow(NodeId(0), NodeId(1), mbps(40.0)).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.path_bottleneck_capacity(NodeId(0), NodeId(1)).unwrap(), 100.0);
+        approx(mesh.path_available(NodeId(0), NodeId(1)).unwrap(), 60.0);
+        assert_eq!(mesh.path(NodeId(0), NodeId(1)).unwrap(), &[NodeId(0), NodeId(1)]);
+        assert!(mesh
+            .path_available(NodeId(0), NodeId(0))
+            .unwrap()
+            .as_bps()
+            .is_infinite());
+    }
+
+    #[test]
+    fn node_total_link_capacity_sums_incident_links() {
+        let mesh = three_node_lan();
+        approx(mesh.node_total_link_capacity(NodeId(0)).unwrap(), 200.0);
+        assert_eq!(
+            mesh.node_total_link_capacity(NodeId(9)).unwrap_err(),
+            MeshError::UnknownNode(NodeId(9))
+        );
+    }
+
+    #[test]
+    fn backlog_grows_under_restriction_and_drains_after() {
+        let mut mesh = three_node_lan();
+        let f = mesh.add_flow(NodeId(0), NodeId(1), mbps(50.0)).unwrap();
+        mesh.set_link_cap(NodeId(0), NodeId(1), Some(mbps(10.0))).unwrap();
+        for _ in 0..10 {
+            mesh.advance(SimDuration::from_secs(1));
+        }
+        let backlog = mesh.flow_backlog(f).unwrap();
+        assert!(backlog.as_bytes() > 0, "backlog should accumulate");
+        let delay = mesh.flow_message_delay(f, DataSize::from_kilobytes(10)).unwrap();
+        assert!(delay.as_secs_f64() > 10.0, "delay should include drain: {delay}");
+        // Lift restriction and stop offering traffic: the backlog drains.
+        mesh.set_link_cap(NodeId(0), NodeId(1), None).unwrap();
+        mesh.set_flow_demand(f, Bandwidth::ZERO).unwrap();
+        for _ in 0..60 {
+            mesh.advance(SimDuration::from_secs(1));
+        }
+        assert_eq!(mesh.flow_backlog(f).unwrap(), DataSize::ZERO);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut mesh = three_node_lan();
+        assert!(matches!(
+            mesh.add_flow(NodeId(0), NodeId(9), mbps(1.0)),
+            Err(MeshError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            mesh.set_flow_demand(FlowId(99), mbps(1.0)),
+            Err(MeshError::UnknownFlow(_))
+        ));
+        assert!(matches!(
+            mesh.remove_flow(FlowId(99)),
+            Err(MeshError::UnknownFlow(_))
+        ));
+        assert!(matches!(
+            mesh.link_capacity(NodeId(0), NodeId(9)),
+            Err(MeshError::UnknownLink(_, _))
+        ));
+        assert!(matches!(
+            mesh.set_node_egress_cap(NodeId(9), Some(mbps(1.0))),
+            Err(MeshError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn remove_flow_frees_capacity() {
+        let mut mesh = three_node_lan();
+        let f1 = mesh.add_flow(NodeId(0), NodeId(1), mbps(100.0)).unwrap();
+        let f2 = mesh.add_flow(NodeId(0), NodeId(1), mbps(100.0)).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_rate(f2), 50.0);
+        mesh.remove_flow(f1).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_rate(f2), 100.0);
+        assert_eq!(mesh.flow_count(), 1);
+    }
+
+    #[test]
+    fn weighted_routing_reroutes_live_flows() {
+        // Triangle with a weak direct link 0–2: under min-hop the flow
+        // goes direct and gets 2 Mbps; after switching to ETX-style
+        // routing it detours via node 1 and gets its full demand.
+        let mut topo = Topology::new();
+        for i in 0..3 {
+            topo.add_node(NodeId(i)).unwrap();
+        }
+        topo.add_link(NodeId(0), NodeId(1)).unwrap();
+        topo.add_link(NodeId(1), NodeId(2)).unwrap();
+        let weak = topo.add_link(NodeId(0), NodeId(2)).unwrap();
+        let mut mesh = Mesh::with_uniform_capacity(topo, mbps(100.0)).unwrap();
+        mesh.set_link_source(NodeId(0), NodeId(2), CapacitySource::Constant(mbps(2.0)))
+            .unwrap();
+        let f = mesh.add_flow(NodeId(0), NodeId(2), mbps(10.0)).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_rate(f), 2.0);
+
+        // ETX ∝ 1/capacity-ish: make the weak link expensive.
+        mesh.use_weighted_routing(|lid| if lid == weak { 10.0 } else { 1.0 });
+        mesh.advance(SimDuration::from_millis(100));
+        // Rate may exceed demand while the starvation backlog drains;
+        // goodput is back at the full demand.
+        approx(mesh.flow_goodput(f), 10.0);
+        assert_eq!(
+            mesh.path(NodeId(0), NodeId(2)).unwrap(),
+            &[NodeId(0), NodeId(1), NodeId(2)]
+        );
+        // Usage accounting follows the new path.
+        assert!(mesh.link_usage(NodeId(0), NodeId(1)).unwrap() >= mbps(10.0));
+        approx(mesh.link_usage(NodeId(0), NodeId(2)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reset_flow_queue_clears_backlog() {
+        let mut mesh = three_node_lan();
+        let f = mesh.add_flow(NodeId(0), NodeId(1), mbps(200.0)).unwrap();
+        mesh.advance(SimDuration::from_secs(5));
+        assert!(mesh.flow_backlog(f).unwrap().as_bytes() > 0);
+        mesh.reset_flow_queue(f).unwrap();
+        assert_eq!(mesh.flow_backlog(f).unwrap(), DataSize::ZERO);
+    }
+}

@@ -1,0 +1,335 @@
+//! Mesh topology: nodes and undirected wireless links.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a mesh node.
+///
+/// Node ids are small integers chosen by the caller (the paper numbers
+/// its nodes 1–4 with node 0 hosting the control plane).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Index of a link within a [`Topology`] (dense, assigned in insertion
+/// order).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct LinkId(pub usize);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// An undirected link between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// Lower-numbered endpoint.
+    pub a: NodeId,
+    /// Higher-numbered endpoint.
+    pub b: NodeId,
+}
+
+impl Link {
+    /// The endpoint opposite to `n`, or `None` if `n` is not an endpoint.
+    pub fn other(&self, n: NodeId) -> Option<NodeId> {
+        if n == self.a {
+            Some(self.b)
+        } else if n == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// Errors constructing or mutating a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A link referenced a node that was never added.
+    UnknownNode(NodeId),
+    /// Self-loops are not allowed.
+    SelfLoop(NodeId),
+    /// The link already exists.
+    DuplicateLink(NodeId, NodeId),
+    /// The node already exists.
+    DuplicateNode(NodeId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TopologyError::SelfLoop(n) => write!(f, "self loop at {n}"),
+            TopologyError::DuplicateLink(a, b) => write!(f, "duplicate link {a}-{b}"),
+            TopologyError::DuplicateNode(n) => write!(f, "duplicate node {n}"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// An undirected multigraph-free mesh topology.
+///
+/// # Examples
+///
+/// ```
+/// use bass_mesh::topology::{NodeId, Topology};
+///
+/// let mut topo = Topology::new();
+/// for i in 0..3 {
+///     topo.add_node(NodeId(i))?;
+/// }
+/// topo.add_link(NodeId(0), NodeId(1))?;
+/// topo.add_link(NodeId(1), NodeId(2))?;
+/// assert!(topo.is_connected());
+/// # Ok::<(), bass_mesh::topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: BTreeSet<NodeId>,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Builds a fully connected topology over `n` nodes (ids `0..n`) —
+    /// the shape of the paper's bridged-LAN microbenchmark clusters.
+    pub fn full_mesh(n: u32) -> Self {
+        let mut topo = Topology::new();
+        for i in 0..n {
+            topo.add_node(NodeId(i)).expect("fresh node");
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                topo.add_link(NodeId(i), NodeId(j)).expect("fresh link");
+            }
+        }
+        topo
+    }
+
+    /// Adds a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::DuplicateNode`] if the id is taken.
+    pub fn add_node(&mut self, id: NodeId) -> Result<(), TopologyError> {
+        if !self.nodes.insert(id) {
+            return Err(TopologyError::DuplicateNode(id));
+        }
+        Ok(())
+    }
+
+    /// Adds an undirected link between two existing nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for self-loops, unknown endpoints, or duplicates.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId) -> Result<LinkId, TopologyError> {
+        if a == b {
+            return Err(TopologyError::SelfLoop(a));
+        }
+        for &n in &[a, b] {
+            if !self.nodes.contains(&n) {
+                return Err(TopologyError::UnknownNode(n));
+            }
+        }
+        if self.find_link(a, b).is_some() {
+            return Err(TopologyError::DuplicateLink(a, b));
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.links.push(Link { a: lo, b: hi });
+        Ok(LinkId(self.links.len() - 1))
+    }
+
+    /// All node ids in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the node exists.
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.contains(&n)
+    }
+
+    /// All links with their ids, in insertion order.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, Link)> + '_ {
+        self.links.iter().enumerate().map(|(i, &l)| (LinkId(i), l))
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link between `a` and `b` (order-insensitive), if any.
+    pub fn find_link(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.links
+            .iter()
+            .position(|l| l.a == lo && l.b == hi)
+            .map(LinkId)
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn link(&self, id: LinkId) -> Link {
+        self.links[id.0]
+    }
+
+    /// Neighbors of a node in ascending id order.
+    pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.links.iter().filter_map(|l| l.other(n)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Links incident to a node.
+    pub fn incident_links(&self, n: NodeId) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.a == n || l.b == n)
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
+    /// True when every node can reach every other node. An empty topology
+    /// counts as connected.
+    pub fn is_connected(&self) -> bool {
+        let Some(&start) = self.nodes.iter().next() else {
+            return true;
+        };
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![start];
+        seen.insert(start);
+        while let Some(n) = stack.pop() {
+            for nb in self.neighbors(n) {
+                if seen.insert(nb) {
+                    stack.push(nb);
+                }
+            }
+        }
+        seen.len() == self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut topo = Topology::new();
+        topo.add_node(NodeId(1)).unwrap();
+        topo.add_node(NodeId(2)).unwrap();
+        topo.add_node(NodeId(3)).unwrap();
+        let l = topo.add_link(NodeId(2), NodeId(1)).unwrap();
+        assert_eq!(topo.link(l), Link { a: NodeId(1), b: NodeId(2) });
+        assert_eq!(topo.find_link(NodeId(1), NodeId(2)), Some(l));
+        assert_eq!(topo.find_link(NodeId(2), NodeId(1)), Some(l));
+        assert_eq!(topo.find_link(NodeId(1), NodeId(3)), None);
+        assert_eq!(topo.neighbors(NodeId(1)), vec![NodeId(2)]);
+        assert_eq!(topo.node_count(), 3);
+        assert_eq!(topo.link_count(), 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        let mut topo = Topology::new();
+        topo.add_node(NodeId(1)).unwrap();
+        assert_eq!(
+            topo.add_node(NodeId(1)),
+            Err(TopologyError::DuplicateNode(NodeId(1)))
+        );
+        assert_eq!(
+            topo.add_link(NodeId(1), NodeId(1)),
+            Err(TopologyError::SelfLoop(NodeId(1)))
+        );
+        assert_eq!(
+            topo.add_link(NodeId(1), NodeId(9)),
+            Err(TopologyError::UnknownNode(NodeId(9)))
+        );
+        topo.add_node(NodeId(2)).unwrap();
+        topo.add_link(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(
+            topo.add_link(NodeId(2), NodeId(1)),
+            Err(TopologyError::DuplicateLink(NodeId(2), NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn full_mesh_shape() {
+        let topo = Topology::full_mesh(4);
+        assert_eq!(topo.node_count(), 4);
+        assert_eq!(topo.link_count(), 6);
+        assert!(topo.is_connected());
+        assert_eq!(topo.neighbors(NodeId(0)).len(), 3);
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut topo = Topology::new();
+        assert!(topo.is_connected());
+        topo.add_node(NodeId(0)).unwrap();
+        topo.add_node(NodeId(1)).unwrap();
+        assert!(!topo.is_connected());
+        topo.add_link(NodeId(0), NodeId(1)).unwrap();
+        assert!(topo.is_connected());
+        topo.add_node(NodeId(2)).unwrap();
+        assert!(!topo.is_connected());
+    }
+
+    #[test]
+    fn incident_links() {
+        let topo = Topology::full_mesh(3);
+        let incident = topo.incident_links(NodeId(0));
+        assert_eq!(incident.len(), 2);
+    }
+
+    #[test]
+    fn link_other_endpoint() {
+        let l = Link { a: NodeId(1), b: NodeId(2) };
+        assert_eq!(l.other(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(l.other(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(l.other(NodeId(3)), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(2).to_string(), "l2");
+    }
+}

@@ -1,0 +1,433 @@
+//! Max-capacity and headroom probing with overhead accounting.
+
+use bass_mesh::{Mesh, NodeId};
+use bass_util::time::{SimDuration, SimTime};
+use bass_util::units::{Bandwidth, DataSize};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Canonical undirected link key.
+fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Configuration of the net-monitor's probing behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetMonitorConfig {
+    /// Spare capacity to maintain on every link, as a fraction of the
+    /// link's (cached) capacity. The paper uses ~20% (4 Mbps on a
+    /// 25 Mbps link, Fig. 8).
+    pub headroom_fraction: f64,
+    /// How often headroom probes run (paper default: 30 s).
+    pub probe_interval: SimDuration,
+    /// How long each probe transmission lasts (paper: 1 s).
+    pub probe_duration: SimDuration,
+    /// Fraction of link capacity a headroom probe transmits (paper: 10%).
+    pub headroom_probe_rate: f64,
+}
+
+impl Default for NetMonitorConfig {
+    fn default() -> Self {
+        NetMonitorConfig {
+            headroom_fraction: 0.20,
+            probe_interval: SimDuration::from_secs(30),
+            probe_duration: SimDuration::from_secs(1),
+            headroom_probe_rate: 0.10,
+        }
+    }
+}
+
+/// Cumulative probe traffic accounting (for §6.3.4's overhead numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProbeOverhead {
+    /// Bytes transmitted by full (max-capacity) probes.
+    pub full_probe_bytes: DataSize,
+    /// Bytes transmitted by headroom probes.
+    pub headroom_probe_bytes: DataSize,
+    /// Number of full probes performed.
+    pub full_probes: u64,
+    /// Number of headroom probe rounds performed.
+    pub headroom_probes: u64,
+}
+
+impl ProbeOverhead {
+    /// Total probe bytes.
+    pub fn total_bytes(&self) -> DataSize {
+        self.full_probe_bytes + self.headroom_probe_bytes
+    }
+
+    /// Probe traffic as a fraction of `link_seconds_capacity` — the total
+    /// data the probed links could have carried over the experiment.
+    pub fn fraction_of(&self, total_capacity_bytes: DataSize) -> f64 {
+        if total_capacity_bytes == DataSize::ZERO {
+            0.0
+        } else {
+            self.total_bytes().as_bytes() as f64 / total_capacity_bytes.as_bytes() as f64
+        }
+    }
+}
+
+/// One link's state in a headroom report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkHeadroom {
+    /// Link endpoints (canonical order).
+    pub a: NodeId,
+    /// Link endpoints (canonical order).
+    pub b: NodeId,
+    /// Required headroom (fraction × cached capacity).
+    pub required: Bandwidth,
+    /// Spare capacity observed by the probe.
+    pub available: Bandwidth,
+    /// True when `available >= required`.
+    pub ok: bool,
+}
+
+/// The result of one headroom probing round.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HeadroomReport {
+    /// Per-link headroom status.
+    pub links: Vec<LinkHeadroom>,
+    /// Links that newly transitioned from OK to violated since the last
+    /// round — the signal that makes the controller request a full probe
+    /// (Fig. 8).
+    pub newly_violated: Vec<(NodeId, NodeId)>,
+}
+
+impl HeadroomReport {
+    /// True when every link has its required headroom.
+    pub fn all_ok(&self) -> bool {
+        self.links.iter().all(|l| l.ok)
+    }
+
+    /// The headroom entry for a link, order-insensitive.
+    pub fn link(&self, a: NodeId, b: NodeId) -> Option<&LinkHeadroom> {
+        let k = key(a, b);
+        self.links.iter().find(|l| (l.a, l.b) == k)
+    }
+}
+
+/// The net-monitor: cached link-capacity estimates plus probing.
+///
+/// # Examples
+///
+/// ```
+/// use bass_mesh::{Mesh, NodeId, Topology};
+/// use bass_netmon::NetMonitor;
+/// use bass_util::prelude::*;
+///
+/// let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(3), Bandwidth::from_mbps(50.0))?;
+/// let mut monitor = NetMonitor::new(Default::default());
+/// monitor.full_probe(&mesh);
+/// assert_eq!(
+///     monitor.cached_link_capacity(NodeId(0), NodeId(1)).unwrap().as_mbps(),
+///     50.0
+/// );
+/// # Ok::<(), bass_mesh::MeshError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetMonitor {
+    cfg: NetMonitorConfig,
+    capacity_cache: BTreeMap<(NodeId, NodeId), (Bandwidth, SimTime)>,
+    headroom_ok: BTreeMap<(NodeId, NodeId), bool>,
+    overhead: ProbeOverhead,
+    last_full_probe: Option<SimTime>,
+    last_headroom_probe: Option<SimTime>,
+}
+
+impl NetMonitor {
+    /// Creates a monitor with the given probing configuration.
+    pub fn new(cfg: NetMonitorConfig) -> Self {
+        NetMonitor {
+            cfg,
+            capacity_cache: BTreeMap::new(),
+            headroom_ok: BTreeMap::new(),
+            overhead: ProbeOverhead::default(),
+            last_full_probe: None,
+            last_headroom_probe: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> NetMonitorConfig {
+        self.cfg
+    }
+
+    /// Performs a max-capacity probe of every link: floods each link for
+    /// `probe_duration` and caches the measured capacities.
+    ///
+    /// Against the simulator the measurement is exact; the cost is the
+    /// flood traffic, which is charged to the overhead accounting.
+    pub fn full_probe(&mut self, mesh: &Mesh) {
+        let now = mesh.now();
+        for (_, link) in mesh.topology().links() {
+            let cap = mesh
+                .link_capacity(link.a, link.b)
+                .expect("topology link exists");
+            self.capacity_cache.insert(key(link.a, link.b), (cap, now));
+            // Flooding the link for probe_duration costs its capacity.
+            let bits = cap.as_bps() * self.cfg.probe_duration.as_secs_f64();
+            self.overhead.full_probe_bytes += DataSize::from_bytes((bits / 8.0) as u64);
+        }
+        self.overhead.full_probes += 1;
+        self.last_full_probe = Some(now);
+    }
+
+    /// Performs one headroom-probing round: checks every link for
+    /// `headroom_fraction × cached_capacity` of spare capacity.
+    ///
+    /// Links without a cached capacity (never full-probed) are measured
+    /// against their live capacity — the monitor performs an implicit
+    /// first full probe at startup in practice (§4.2).
+    pub fn headroom_probe(&mut self, mesh: &Mesh) -> HeadroomReport {
+        let now = mesh.now();
+        let mut report = HeadroomReport::default();
+        for (_, link) in mesh.topology().links() {
+            let k = key(link.a, link.b);
+            let cached = self
+                .capacity_cache
+                .get(&k)
+                .map(|&(c, _)| c)
+                .unwrap_or_else(|| {
+                    mesh.link_capacity(link.a, link.b)
+                        .expect("topology link exists")
+                });
+            let required = cached.scale(self.cfg.headroom_fraction);
+            let available = mesh
+                .link_available(link.a, link.b)
+                .expect("topology link exists");
+            let ok = available + Bandwidth::from_bps(1.0) >= required;
+            let was_ok = self.headroom_ok.insert(k, ok).unwrap_or(true);
+            if was_ok && !ok {
+                report.newly_violated.push(k);
+            }
+            report.links.push(LinkHeadroom {
+                a: k.0,
+                b: k.1,
+                required,
+                available,
+                ok,
+            });
+            // Probe transmission: headroom_probe_rate × capacity for
+            // probe_duration.
+            let bits = cached.as_bps()
+                * self.cfg.headroom_probe_rate
+                * self.cfg.probe_duration.as_secs_f64();
+            self.overhead.headroom_probe_bytes += DataSize::from_bytes((bits / 8.0) as u64);
+        }
+        self.overhead.headroom_probes += 1;
+        self.last_headroom_probe = Some(now);
+        report
+    }
+
+    /// Whether the next headroom probe is due at `now`.
+    pub fn headroom_probe_due(&self, now: SimTime) -> bool {
+        match self.last_headroom_probe {
+            None => true,
+            Some(last) => now.saturating_since(last) >= self.cfg.probe_interval,
+        }
+    }
+
+    /// Cached capacity of a link, if it was ever probed.
+    pub fn cached_link_capacity(&self, a: NodeId, b: NodeId) -> Option<Bandwidth> {
+        self.capacity_cache.get(&key(a, b)).map(|&(c, _)| c)
+    }
+
+    /// When a link's capacity was last measured.
+    pub fn cached_link_age(&self, a: NodeId, b: NodeId) -> Option<SimTime> {
+        self.capacity_cache.get(&key(a, b)).map(|&(_, t)| t)
+    }
+
+    /// Path capacity estimate from cached link estimates: traceroute the
+    /// pair, then take the bottleneck of the cached per-link capacities
+    /// (§4.2 "Network Resource Monitoring"). Returns `None` if any link
+    /// on the path was never probed or no route exists.
+    pub fn cached_path_capacity(&self, mesh: &Mesh, src: NodeId, dst: NodeId) -> Option<Bandwidth> {
+        if src == dst {
+            return Some(Bandwidth::from_bps(f64::INFINITY));
+        }
+        let path = mesh.path(src, dst).ok()?;
+        let mut bottleneck = Bandwidth::from_bps(f64::INFINITY);
+        for w in path.windows(2) {
+            let cap = self.cached_link_capacity(w[0], w[1])?;
+            bottleneck = bottleneck.min(cap);
+        }
+        Some(bottleneck)
+    }
+
+    /// Live available bandwidth between a node pair (bottleneck spare
+    /// capacity along the routed path) — what the scheduler queries when
+    /// rescheduling.
+    pub fn live_path_available(&self, mesh: &Mesh, src: NodeId, dst: NodeId) -> Bandwidth {
+        mesh.path_available(src, dst).unwrap_or(Bandwidth::ZERO)
+    }
+
+    /// Cumulative probe overhead so far.
+    pub fn overhead(&self) -> ProbeOverhead {
+        self.overhead
+    }
+
+    /// Time of the last full probe, if any.
+    pub fn last_full_probe(&self) -> Option<SimTime> {
+        self.last_full_probe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bass_mesh::Topology;
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    fn mesh() -> Mesh {
+        Mesh::with_uniform_capacity(Topology::full_mesh(3), mbps(50.0)).unwrap()
+    }
+
+    #[test]
+    fn full_probe_caches_capacities() {
+        let mesh = mesh();
+        let mut mon = NetMonitor::new(NetMonitorConfig::default());
+        assert_eq!(mon.cached_link_capacity(NodeId(0), NodeId(1)), None);
+        mon.full_probe(&mesh);
+        assert_eq!(mon.cached_link_capacity(NodeId(0), NodeId(1)), Some(mbps(50.0)));
+        assert_eq!(mon.cached_link_capacity(NodeId(1), NodeId(0)), Some(mbps(50.0)));
+        assert_eq!(mon.overhead().full_probes, 1);
+        // 3 links × 50 Mbit = 150 Mbit = 18.75 MB.
+        assert_eq!(
+            mon.overhead().full_probe_bytes,
+            DataSize::from_bytes(3 * 50_000_000 / 8)
+        );
+    }
+
+    #[test]
+    fn headroom_probe_flags_squeezed_links() {
+        let mut mesh = mesh();
+        let mut mon = NetMonitor::new(NetMonitorConfig::default());
+        mon.full_probe(&mesh);
+        // No traffic: all OK.
+        let r1 = mon.headroom_probe(&mesh);
+        assert!(r1.all_ok());
+        assert!(r1.newly_violated.is_empty());
+        // Saturate link 0-1: 50 Mbps demand on 50 Mbps link leaves no
+        // headroom (requirement is 20% of 50 = 10 Mbps).
+        mesh.add_flow(NodeId(0), NodeId(1), mbps(100.0)).unwrap();
+        mesh.advance(SimDuration::from_secs(1));
+        let r2 = mon.headroom_probe(&mesh);
+        assert!(!r2.all_ok());
+        assert_eq!(r2.newly_violated, vec![(NodeId(0), NodeId(1))]);
+        let entry = r2.link(NodeId(1), NodeId(0)).unwrap();
+        assert!(!entry.ok);
+        assert_eq!(entry.required, mbps(10.0));
+        // Third round: still violated but not *newly*.
+        mesh.advance(SimDuration::from_secs(1));
+        let r3 = mon.headroom_probe(&mesh);
+        assert!(r3.newly_violated.is_empty());
+        assert!(!r3.all_ok());
+    }
+
+    #[test]
+    fn headroom_recovery_is_not_newly_violated() {
+        let mut mesh = mesh();
+        let mut mon = NetMonitor::new(NetMonitorConfig::default());
+        mon.full_probe(&mesh);
+        let f = mesh.add_flow(NodeId(0), NodeId(1), mbps(100.0)).unwrap();
+        mesh.advance(SimDuration::from_secs(1));
+        let r1 = mon.headroom_probe(&mesh);
+        assert_eq!(r1.newly_violated.len(), 1);
+        // Load removed: the link recovers; recovery must not re-trigger.
+        mesh.set_flow_demand(f, Bandwidth::ZERO).unwrap();
+        mesh.advance(SimDuration::from_secs(30)); // backlog drains here
+        mesh.advance(SimDuration::from_secs(1)); // idle step: usage is 0
+        let r2 = mon.headroom_probe(&mesh);
+        assert!(r2.all_ok());
+        assert!(r2.newly_violated.is_empty());
+        // A second squeeze triggers *newly* again.
+        mesh.set_flow_demand(f, mbps(100.0)).unwrap();
+        mesh.advance(SimDuration::from_secs(1));
+        let r3 = mon.headroom_probe(&mesh);
+        assert_eq!(r3.newly_violated.len(), 1);
+    }
+
+    #[test]
+    fn headroom_probe_due_schedule() {
+        let mut mesh = mesh();
+        let mut mon = NetMonitor::new(NetMonitorConfig::default());
+        assert!(mon.headroom_probe_due(SimTime::ZERO));
+        mon.headroom_probe(&mesh);
+        assert!(!mon.headroom_probe_due(SimTime::from_secs(29)));
+        assert!(mon.headroom_probe_due(SimTime::from_secs(30)));
+        mesh.advance(SimDuration::from_secs(30));
+        mon.headroom_probe(&mesh);
+        assert!(!mon.headroom_probe_due(SimTime::from_secs(59)));
+    }
+
+    #[test]
+    fn cached_path_capacity_is_bottleneck() {
+        let mut topo = Topology::new();
+        for i in 0..3 {
+            topo.add_node(NodeId(i)).unwrap();
+        }
+        topo.add_link(NodeId(0), NodeId(1)).unwrap();
+        topo.add_link(NodeId(1), NodeId(2)).unwrap();
+        let mut mesh = Mesh::new(topo).unwrap();
+        mesh.set_link_source(NodeId(0), NodeId(1), bass_mesh::CapacitySource::Constant(mbps(20.0)))
+            .unwrap();
+        mesh.set_link_source(NodeId(1), NodeId(2), bass_mesh::CapacitySource::Constant(mbps(5.0)))
+            .unwrap();
+        let mut mon = NetMonitor::new(NetMonitorConfig::default());
+        assert_eq!(mon.cached_path_capacity(&mesh, NodeId(0), NodeId(2)), None);
+        mon.full_probe(&mesh);
+        assert_eq!(
+            mon.cached_path_capacity(&mesh, NodeId(0), NodeId(2)),
+            Some(mbps(5.0))
+        );
+        assert!(mon
+            .cached_path_capacity(&mesh, NodeId(1), NodeId(1))
+            .unwrap()
+            .as_bps()
+            .is_infinite());
+    }
+
+    #[test]
+    fn overhead_fraction_matches_paper_ballpark() {
+        // Paper: probing 10% of capacity for 1 s every 30 s ≈ 0.3% of
+        // link traffic.
+        let mut mesh = mesh();
+        let mut mon = NetMonitor::new(NetMonitorConfig::default());
+        mon.full_probe(&mesh);
+        let full_cost = mon.overhead().total_bytes();
+        // Simulate 20 minutes of headroom probing (40 rounds).
+        for _ in 0..40 {
+            mesh.advance(SimDuration::from_secs(30));
+            mon.headroom_probe(&mesh);
+        }
+        let total_capacity_bits = 3.0 * 50e6 * 1200.0;
+        let total_capacity = DataSize::from_bytes((total_capacity_bits / 8.0) as u64);
+        let headroom_only = ProbeOverhead {
+            headroom_probe_bytes: mon.overhead().headroom_probe_bytes,
+            ..Default::default()
+        };
+        let frac = headroom_only.fraction_of(total_capacity);
+        assert!((frac - 0.00333).abs() < 0.0005, "headroom overhead {frac}");
+        assert!(full_cost.as_bytes() > 0);
+    }
+
+    #[test]
+    fn stale_cache_is_visible_through_age() {
+        let mut mesh = mesh();
+        let mut mon = NetMonitor::new(NetMonitorConfig::default());
+        mesh.advance(SimDuration::from_secs(5));
+        mon.full_probe(&mesh);
+        assert_eq!(
+            mon.cached_link_age(NodeId(0), NodeId(1)),
+            Some(SimTime::from_secs(5))
+        );
+        assert_eq!(mon.last_full_probe(), Some(SimTime::from_secs(5)));
+    }
+}

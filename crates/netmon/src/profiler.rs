@@ -1,0 +1,156 @@
+//! Online bandwidth-requirement profiling (paper §8, future work).
+//!
+//! The shipped BASS requires the developer to profile each edge's
+//! bandwidth requirement offline. This module implements the extension
+//! the paper proposes: watch an edge's achieved usage after deployment
+//! and derive the requirement automatically as a high percentile of the
+//! observed samples times a safety factor.
+
+use bass_appdag::ComponentId;
+use bass_util::stats::Percentiles;
+use bass_util::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Online estimator of per-edge bandwidth requirements.
+///
+/// # Examples
+///
+/// ```
+/// use bass_appdag::ComponentId;
+/// use bass_netmon::OnlineProfiler;
+/// use bass_util::prelude::*;
+///
+/// let mut profiler = OnlineProfiler::new(0.95, 1.2, 8);
+/// for mbps in [4.0, 5.0, 4.5, 5.5, 5.0, 4.8, 5.2, 4.9] {
+///     profiler.observe(ComponentId(1), ComponentId(2), Bandwidth::from_mbps(mbps));
+/// }
+/// let est = profiler.estimate(ComponentId(1), ComponentId(2)).unwrap();
+/// assert!(est.as_mbps() > 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineProfiler {
+    quantile: f64,
+    safety_factor: f64,
+    min_samples: usize,
+    samples: BTreeMap<(ComponentId, ComponentId), Vec<f64>>,
+}
+
+impl OnlineProfiler {
+    /// Creates a profiler that estimates the `quantile` of observed
+    /// usage (in `[0, 1]`) scaled by `safety_factor`, requiring at least
+    /// `min_samples` observations before producing an estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is outside `[0, 1]`, `safety_factor < 1`, or
+    /// `min_samples == 0`.
+    pub fn new(quantile: f64, safety_factor: f64, min_samples: usize) -> Self {
+        assert!((0.0..=1.0).contains(&quantile), "quantile must be in [0,1]");
+        assert!(safety_factor >= 1.0, "safety factor must be >= 1");
+        assert!(min_samples > 0, "min_samples must be positive");
+        OnlineProfiler {
+            quantile,
+            safety_factor,
+            min_samples,
+            samples: BTreeMap::new(),
+        }
+    }
+
+    /// Records one observed usage sample for the edge.
+    pub fn observe(&mut self, from: ComponentId, to: ComponentId, used: Bandwidth) {
+        self.samples
+            .entry((from, to))
+            .or_default()
+            .push(used.as_mbps());
+    }
+
+    /// Number of samples collected for the edge.
+    pub fn sample_count(&self, from: ComponentId, to: ComponentId) -> usize {
+        self.samples.get(&(from, to)).map_or(0, Vec::len)
+    }
+
+    /// The current requirement estimate, or `None` before `min_samples`
+    /// observations have been collected.
+    pub fn estimate(&self, from: ComponentId, to: ComponentId) -> Option<Bandwidth> {
+        let samples = self.samples.get(&(from, to))?;
+        if samples.len() < self.min_samples {
+            return None;
+        }
+        let p = Percentiles::from_samples(samples);
+        Some(Bandwidth::from_mbps(
+            p.quantile(self.quantile) * self.safety_factor,
+        ))
+    }
+
+    /// All edges with enough samples, with their estimates.
+    pub fn estimates(&self) -> Vec<(ComponentId, ComponentId, Bandwidth)> {
+        self.samples
+            .keys()
+            .filter_map(|&(f, t)| self.estimate(f, t).map(|b| (f, t, b)))
+            .collect()
+    }
+
+    /// Clears all samples for an edge (e.g. after migration changes the
+    /// traffic pattern).
+    pub fn reset_edge(&mut self, from: ComponentId, to: ComponentId) {
+        self.samples.remove(&(from, to));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    #[test]
+    fn needs_min_samples() {
+        let mut p = OnlineProfiler::new(0.95, 1.2, 5);
+        for _ in 0..4 {
+            p.observe(ComponentId(1), ComponentId(2), mbps(3.0));
+        }
+        assert_eq!(p.estimate(ComponentId(1), ComponentId(2)), None);
+        p.observe(ComponentId(1), ComponentId(2), mbps(3.0));
+        let est = p.estimate(ComponentId(1), ComponentId(2)).unwrap();
+        assert!((est.as_mbps() - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_tracks_high_quantile() {
+        let mut p = OnlineProfiler::new(1.0, 1.0, 1);
+        for v in [1.0, 9.0, 2.0, 3.0] {
+            p.observe(ComponentId(1), ComponentId(2), mbps(v));
+        }
+        assert_eq!(p.estimate(ComponentId(1), ComponentId(2)), Some(mbps(9.0)));
+    }
+
+    #[test]
+    fn reset_clears_samples() {
+        let mut p = OnlineProfiler::new(0.9, 1.0, 1);
+        p.observe(ComponentId(1), ComponentId(2), mbps(4.0));
+        assert_eq!(p.sample_count(ComponentId(1), ComponentId(2)), 1);
+        p.reset_edge(ComponentId(1), ComponentId(2));
+        assert_eq!(p.sample_count(ComponentId(1), ComponentId(2)), 0);
+        assert_eq!(p.estimate(ComponentId(1), ComponentId(2)), None);
+    }
+
+    #[test]
+    fn estimates_lists_ready_edges() {
+        let mut p = OnlineProfiler::new(0.5, 1.0, 2);
+        p.observe(ComponentId(1), ComponentId(2), mbps(1.0));
+        p.observe(ComponentId(1), ComponentId(2), mbps(1.0));
+        p.observe(ComponentId(2), ComponentId(3), mbps(1.0)); // only 1 sample
+        let ests = p.estimates();
+        assert_eq!(ests.len(), 1);
+        assert_eq!(ests[0].0, ComponentId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "safety factor")]
+    fn rejects_bad_safety_factor() {
+        let _ = OnlineProfiler::new(0.9, 0.5, 1);
+    }
+}

@@ -1,0 +1,348 @@
+//! Synthetic CityLab-like trace generation.
+//!
+//! Wireless link capacity is modeled as a mean-reverting AR(1) process
+//! (the exact discretization of an Ornstein–Uhlenbeck process), which is
+//! the standard fluid model for fading-dominated links: capacity hovers
+//! around a mean, excursions decay with a configurable relaxation time,
+//! and the stationary distribution is Gaussian with a configurable
+//! standard deviation. On top of the stationary process the generator can
+//! superimpose *fade events* (temporary multiplicative dips — the paper's
+//! "reflections from a truck or attenuation from foliage") so that deep
+//! drops occur on the minutes timescale the paper reports.
+
+use crate::trace::BandwidthTrace;
+use bass_util::rng::SimRng;
+use bass_util::time::{SimDuration, SimTime};
+use bass_util::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// Stateful mean-reverting capacity process (exact OU discretization).
+///
+/// `x(t+dt) = mean + phi * (x(t) - mean) + sigma * sqrt(1 - phi^2) * eps`
+/// with `phi = exp(-dt / relaxation)`.
+#[derive(Debug, Clone)]
+pub struct OuProcess {
+    mean_mbps: f64,
+    sigma_mbps: f64,
+    relaxation: SimDuration,
+    current_mbps: f64,
+}
+
+impl OuProcess {
+    /// Creates a process starting at its mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_mbps < 0`, `sigma_mbps < 0`, or `relaxation` is zero.
+    pub fn new(mean_mbps: f64, sigma_mbps: f64, relaxation: SimDuration) -> Self {
+        assert!(mean_mbps >= 0.0, "mean must be non-negative");
+        assert!(sigma_mbps >= 0.0, "sigma must be non-negative");
+        assert!(!relaxation.is_zero(), "relaxation time must be positive");
+        OuProcess {
+            mean_mbps,
+            sigma_mbps,
+            relaxation,
+            current_mbps: mean_mbps,
+        }
+    }
+
+    /// Advances the process by `dt` and returns the new value in Mbps
+    /// (clamped at zero).
+    pub fn step(&mut self, dt: SimDuration, rng: &mut SimRng) -> f64 {
+        let phi = (-dt.as_secs_f64() / self.relaxation.as_secs_f64()).exp();
+        let noise = self.sigma_mbps * (1.0 - phi * phi).sqrt() * rng.standard_normal();
+        self.current_mbps = self.mean_mbps + phi * (self.current_mbps - self.mean_mbps) + noise;
+        self.current_mbps = self.current_mbps.max(0.0);
+        self.current_mbps
+    }
+
+    /// The current value in Mbps.
+    pub fn current_mbps(&self) -> f64 {
+        self.current_mbps
+    }
+}
+
+/// Configuration for generating a CityLab-like bandwidth trace.
+///
+/// # Examples
+///
+/// ```
+/// use bass_trace::OuTraceConfig;
+/// use bass_util::prelude::*;
+///
+/// // Fig. 2's second link: mean 7.62 Mbps, sigma = 27% of the mean.
+/// let trace = OuTraceConfig::new("link-b", 7.62)
+///     .relative_std(0.27)
+///     .generate(42, SimDuration::from_secs(1200));
+/// let stats = trace.stats_mbps();
+/// assert!((stats.mean() - 7.62).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OuTraceConfig {
+    name: String,
+    mean_mbps: f64,
+    relative_std: f64,
+    relaxation: SimDuration,
+    sample_interval: SimDuration,
+    floor_mbps: f64,
+    fade_rate_per_min: f64,
+    fade_depth: f64,
+    fade_duration: SimDuration,
+    diurnal_amplitude: f64,
+    diurnal_period: SimDuration,
+}
+
+impl OuTraceConfig {
+    /// Creates a config with the paper-calibrated defaults: relaxation of
+    /// 60 s (fluctuations on the minutes timescale), 1 s sampling, a 10%
+    /// relative standard deviation, and no fade events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_mbps` is negative.
+    pub fn new(name: impl Into<String>, mean_mbps: f64) -> Self {
+        assert!(mean_mbps >= 0.0, "mean must be non-negative");
+        OuTraceConfig {
+            name: name.into(),
+            mean_mbps,
+            relative_std: 0.10,
+            relaxation: SimDuration::from_secs(60),
+            sample_interval: SimDuration::from_secs(1),
+            floor_mbps: 0.1,
+            fade_rate_per_min: 0.0,
+            fade_depth: 0.5,
+            fade_duration: SimDuration::from_secs(45),
+            diurnal_amplitude: 0.0,
+            diurnal_period: SimDuration::from_secs(24 * 3600),
+        }
+    }
+
+    /// Sets the stationary standard deviation as a fraction of the mean
+    /// (Fig. 2 reports 10% and 27%).
+    pub fn relative_std(mut self, frac: f64) -> Self {
+        assert!(frac >= 0.0, "relative std must be non-negative");
+        self.relative_std = frac;
+        self
+    }
+
+    /// Sets the mean-reversion relaxation time.
+    pub fn relaxation(mut self, relaxation: SimDuration) -> Self {
+        self.relaxation = relaxation;
+        self
+    }
+
+    /// Sets the sampling interval.
+    pub fn sample_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "sample interval must be positive");
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Sets the minimum capacity the trace may report.
+    pub fn floor_mbps(mut self, floor: f64) -> Self {
+        self.floor_mbps = floor.max(0.0);
+        self
+    }
+
+    /// Enables fade events: Poisson arrivals at `rate_per_min`, each
+    /// multiplying capacity by `depth` (in `[0, 1]`) for `duration`.
+    pub fn fades(mut self, rate_per_min: f64, depth: f64, duration: SimDuration) -> Self {
+        assert!(rate_per_min >= 0.0, "fade rate must be non-negative");
+        assert!((0.0..=1.0).contains(&depth), "fade depth must be in [0,1]");
+        self.fade_rate_per_min = rate_per_min;
+        self.fade_depth = depth;
+        self.fade_duration = duration;
+        self
+    }
+
+    /// Enables a diurnal capacity pattern: the process mean is modulated
+    /// sinusoidally by ±`amplitude` (a fraction of the mean, in `[0, 1]`)
+    /// with the given period — §2.1 observes variation even in low-usage
+    /// hours, and community links additionally breathe with user load
+    /// over the day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is outside `[0, 1]` or `period` is zero.
+    pub fn diurnal(mut self, amplitude: f64, period: SimDuration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&amplitude),
+            "diurnal amplitude must be in [0,1]"
+        );
+        assert!(!period.is_zero(), "diurnal period must be positive");
+        self.diurnal_amplitude = amplitude;
+        self.diurnal_period = period;
+        self
+    }
+
+    /// The configured mean in Mbps.
+    pub fn mean_mbps(&self) -> f64 {
+        self.mean_mbps
+    }
+
+    /// Generates a trace of the given duration, deterministically from the
+    /// seed.
+    pub fn generate(&self, seed: u64, duration: SimDuration) -> BandwidthTrace {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut process = OuProcess::new(
+            self.mean_mbps,
+            self.mean_mbps * self.relative_std,
+            self.relaxation,
+        );
+        // Burn in so the first sample is drawn from the stationary
+        // distribution rather than pinned at the mean.
+        for _ in 0..32 {
+            process.step(self.relaxation, &mut rng);
+        }
+
+        let mut trace = BandwidthTrace::new(self.name.clone());
+        let mut fade_until = SimTime::ZERO;
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + duration;
+        let fade_prob_per_sample =
+            self.fade_rate_per_min / 60.0 * self.sample_interval.as_secs_f64();
+        while t <= end {
+            let mut mbps = process.step(self.sample_interval, &mut rng);
+            if self.diurnal_amplitude > 0.0 {
+                let phase = std::f64::consts::TAU * t.as_secs_f64()
+                    / self.diurnal_period.as_secs_f64();
+                mbps *= 1.0 + self.diurnal_amplitude * phase.sin();
+            }
+            if self.fade_rate_per_min > 0.0 && t >= fade_until && rng.chance(fade_prob_per_sample)
+            {
+                fade_until = t + self.fade_duration;
+            }
+            if t < fade_until {
+                mbps *= self.fade_depth;
+            }
+            trace.push(t, Bandwidth::from_mbps(mbps.max(self.floor_mbps)));
+            t += self.sample_interval;
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ou_process_reverts_to_mean() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut p = OuProcess::new(20.0, 0.0, SimDuration::from_secs(10));
+        // Kick the process away from the mean by hand.
+        p.current_mbps = 100.0;
+        // With zero noise it must decay monotonically toward 20.
+        let mut prev = p.current_mbps();
+        for _ in 0..20 {
+            let v = p.step(SimDuration::from_secs(5), &mut rng);
+            assert!(v < prev);
+            assert!(v >= 20.0);
+            prev = v;
+        }
+        assert!((prev - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn stationary_stats_match_fig2_link_a() {
+        // Fig. 2 link A: mean 19.9 Mbps, std = 10% of mean.
+        let trace = OuTraceConfig::new("a", 19.9)
+            .relative_std(0.10)
+            .sample_interval(SimDuration::from_secs(1))
+            .generate(7, SimDuration::from_secs(3600));
+        let s = trace.stats_mbps();
+        assert!((s.mean() - 19.9).abs() < 0.8, "mean {}", s.mean());
+        assert!((s.cv() - 0.10).abs() < 0.035, "cv {}", s.cv());
+    }
+
+    #[test]
+    fn stationary_stats_match_fig2_link_b() {
+        // Fig. 2 link B: mean 7.62 Mbps, std = 27% of mean.
+        let trace = OuTraceConfig::new("b", 7.62)
+            .relative_std(0.27)
+            .generate(11, SimDuration::from_secs(3600));
+        let s = trace.stats_mbps();
+        assert!((s.mean() - 7.62).abs() < 0.6, "mean {}", s.mean());
+        assert!((s.cv() - 0.27).abs() < 0.06, "cv {}", s.cv());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = OuTraceConfig::new("d", 10.0).relative_std(0.2);
+        let a = cfg.generate(5, SimDuration::from_secs(120));
+        let b = cfg.generate(5, SimDuration::from_secs(120));
+        assert_eq!(a, b);
+        let c = cfg.generate(6, SimDuration::from_secs(120));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        let trace = OuTraceConfig::new("f", 1.0)
+            .relative_std(2.0)
+            .floor_mbps(0.5)
+            .generate(3, SimDuration::from_secs(600));
+        assert!(trace
+            .samples()
+            .iter()
+            .all(|&(_, b)| b.as_mbps() >= 0.5 - 1e-9));
+    }
+
+    #[test]
+    fn fades_reduce_capacity() {
+        let calm = OuTraceConfig::new("c", 20.0).relative_std(0.01);
+        let fady = calm.clone().fades(6.0, 0.3, SimDuration::from_secs(30));
+        let calm_trace = calm.generate(9, SimDuration::from_secs(1200));
+        let fady_trace = fady.generate(9, SimDuration::from_secs(1200));
+        let calm_min = calm_trace.min_capacity().as_mbps();
+        let fady_min = fady_trace.min_capacity().as_mbps();
+        assert!(
+            fady_min < calm_min * 0.6,
+            "fades should create deep dips ({fady_min} vs {calm_min})"
+        );
+        // Mean should drop but stay in the same regime.
+        assert!(fady_trace.stats_mbps().mean() < calm_trace.stats_mbps().mean());
+    }
+
+    #[test]
+    fn sample_cadence() {
+        let trace = OuTraceConfig::new("s", 5.0)
+            .sample_interval(SimDuration::from_secs(2))
+            .generate(1, SimDuration::from_secs(10));
+        // 0,2,4,6,8,10 inclusive.
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace.samples()[1].0, SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_mean() {
+        let _ = OuTraceConfig::new("x", -1.0);
+    }
+
+    #[test]
+    fn diurnal_pattern_modulates_mean() {
+        let period = SimDuration::from_secs(1200);
+        let trace = OuTraceConfig::new("d", 20.0)
+            .relative_std(0.01)
+            .diurnal(0.5, period)
+            .generate(13, period);
+        // First quarter (rising sine) well above the mean; third quarter
+        // well below.
+        let series = trace.to_series_mbps();
+        let q1 = series
+            .stats_in(SimTime::from_secs(200), SimTime::from_secs(400))
+            .mean();
+        let q3 = series
+            .stats_in(SimTime::from_secs(800), SimTime::from_secs(1000))
+            .mean();
+        assert!(q1 > 26.0, "peak quarter {q1}");
+        assert!(q3 < 14.0, "trough quarter {q3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn diurnal_rejects_bad_amplitude() {
+        let _ = OuTraceConfig::new("d", 10.0).diurnal(1.5, SimDuration::from_secs(60));
+    }
+}

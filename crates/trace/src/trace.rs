@@ -1,0 +1,363 @@
+//! Core bandwidth-trace container and bundles of per-link traces.
+
+use bass_util::stats::StreamingStats;
+use bass_util::time::{SimDuration, SimTime};
+use bass_util::timeseries::TimeSeries;
+use bass_util::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A time-ordered series of link-capacity samples.
+///
+/// Replay uses step semantics: the capacity at time `t` is the most
+/// recent sample at or before `t`, matching how `tc` rate changes and
+/// probed capacity estimates behave.
+///
+/// # Examples
+///
+/// ```
+/// use bass_trace::BandwidthTrace;
+/// use bass_util::prelude::*;
+///
+/// let mut trace = BandwidthTrace::new("uplink");
+/// trace.push(SimTime::ZERO, Bandwidth::from_mbps(25.0));
+/// trace.push(SimTime::from_secs(60), Bandwidth::from_mbps(7.0));
+/// assert_eq!(trace.capacity_at(SimTime::from_secs(30)).as_mbps(), 25.0);
+/// assert_eq!(trace.capacity_at(SimTime::from_secs(90)).as_mbps(), 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    name: String,
+    samples: Vec<(SimTime, Bandwidth)>,
+}
+
+impl BandwidthTrace {
+    /// Creates an empty trace with a human-readable name.
+    pub fn new(name: impl Into<String>) -> Self {
+        BandwidthTrace {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Creates a trace holding a single constant capacity from time zero.
+    pub fn constant(name: impl Into<String>, capacity: Bandwidth) -> Self {
+        let mut t = BandwidthTrace::new(name);
+        t.push(SimTime::ZERO, capacity);
+        t
+    }
+
+    /// The trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the previously appended sample.
+    pub fn push(&mut self, t: SimTime, capacity: Bandwidth) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(t >= last, "trace samples must be time-ordered");
+        }
+        self.samples.push((t, capacity));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Borrows the raw samples.
+    pub fn samples(&self) -> &[(SimTime, Bandwidth)] {
+        &self.samples
+    }
+
+    /// The capacity in effect at `t`. Before the first sample (or for an
+    /// empty trace) the capacity is zero — the link is not yet up.
+    pub fn capacity_at(&self, t: SimTime) -> Bandwidth {
+        let idx = self.samples.partition_point(|&(st, _)| st <= t);
+        idx.checked_sub(1)
+            .map(|i| self.samples[i].1)
+            .unwrap_or(Bandwidth::ZERO)
+    }
+
+    /// The time of the last sample, or `None` when empty.
+    pub fn end_time(&self) -> Option<SimTime> {
+        self.samples.last().map(|&(t, _)| t)
+    }
+
+    /// Summary statistics over the sample values (in Mbps).
+    pub fn stats_mbps(&self) -> StreamingStats {
+        self.samples.iter().map(|&(_, b)| b.as_mbps()).collect()
+    }
+
+    /// The largest capacity observed across the whole trace.
+    pub fn max_capacity(&self) -> Bandwidth {
+        self.samples
+            .iter()
+            .map(|&(_, b)| b)
+            .fold(Bandwidth::ZERO, Bandwidth::max)
+    }
+
+    /// The smallest capacity observed, or zero when empty.
+    pub fn min_capacity(&self) -> Bandwidth {
+        self.samples
+            .iter()
+            .map(|&(_, b)| b)
+            .reduce(Bandwidth::min)
+            .unwrap_or(Bandwidth::ZERO)
+    }
+
+    /// Converts to a plain [`TimeSeries`] of Mbps values (e.g. for rolling
+    /// means as in Fig. 2).
+    pub fn to_series_mbps(&self) -> TimeSeries {
+        self.samples
+            .iter()
+            .map(|&(t, b)| (t, b.as_mbps()))
+            .collect()
+    }
+
+    /// Returns a copy with every capacity scaled by `factor` (e.g. to
+    /// derive a degraded variant of a measured trace).
+    pub fn scaled(&self, factor: f64) -> BandwidthTrace {
+        BandwidthTrace {
+            name: format!("{}*{factor}", self.name),
+            samples: self
+                .samples
+                .iter()
+                .map(|&(t, b)| (t, b.scale(factor)))
+                .collect(),
+        }
+    }
+
+    /// Returns a copy clamped so capacities never drop below `floor`.
+    pub fn with_floor(&self, floor: Bandwidth) -> BandwidthTrace {
+        BandwidthTrace {
+            name: self.name.clone(),
+            samples: self
+                .samples
+                .iter()
+                .map(|&(t, b)| (t, b.max(floor)))
+                .collect(),
+        }
+    }
+
+    /// Returns a copy where every sample is replaced by the trace's
+    /// maximum capacity — the "no bandwidth variation" baseline of
+    /// Table 2, which sets each link to the maximum value observed in the
+    /// CityLab trace.
+    pub fn flattened_to_max(&self) -> BandwidthTrace {
+        let max = self.max_capacity();
+        BandwidthTrace::constant(format!("{}-max", self.name), max)
+    }
+
+    /// 10-second-style rolling mean of the capacity, in Mbps.
+    pub fn rolling_mean_mbps(&self, window: SimDuration) -> TimeSeries {
+        self.to_series_mbps().rolling_mean(window)
+    }
+}
+
+impl fmt::Display for BandwidthTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats_mbps();
+        write!(
+            f,
+            "trace '{}': {} samples, mean={:.2} Mbps, std={:.2} Mbps",
+            self.name,
+            self.len(),
+            stats.mean(),
+            stats.std_dev()
+        )
+    }
+}
+
+/// A collection of traces keyed by link name (e.g. `"n1-n2"`).
+///
+/// Link keys are canonicalized by [`TraceBundle::link_key`] so that
+/// `(a, b)` and `(b, a)` address the same undirected link.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceBundle {
+    traces: BTreeMap<String, BandwidthTrace>,
+}
+
+impl TraceBundle {
+    /// Creates an empty bundle.
+    pub fn new() -> Self {
+        TraceBundle::default()
+    }
+
+    /// Canonical key for an undirected link between node indices.
+    pub fn link_key(a: u32, b: u32) -> String {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        format!("n{lo}-n{hi}")
+    }
+
+    /// Inserts a trace under a key, returning any previous trace.
+    pub fn insert(
+        &mut self,
+        key: impl Into<String>,
+        trace: BandwidthTrace,
+    ) -> Option<BandwidthTrace> {
+        self.traces.insert(key.into(), trace)
+    }
+
+    /// Looks up the trace for a key.
+    pub fn get(&self, key: &str) -> Option<&BandwidthTrace> {
+        self.traces.get(key)
+    }
+
+    /// Looks up by node pair, in either order.
+    pub fn get_link(&self, a: u32, b: u32) -> Option<&BandwidthTrace> {
+        self.traces.get(&Self::link_key(a, b))
+    }
+
+    /// Number of traces in the bundle.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True when the bundle is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Iterates over `(key, trace)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &BandwidthTrace)> {
+        self.traces.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Returns a bundle where every trace is flattened to its maximum —
+    /// the Table 2 "no bandwidth variation" control.
+    pub fn flattened_to_max(&self) -> TraceBundle {
+        TraceBundle {
+            traces: self
+                .traces
+                .iter()
+                .map(|(k, v)| (k.clone(), v.flattened_to_max()))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<(String, BandwidthTrace)> for TraceBundle {
+    fn from_iter<T: IntoIterator<Item = (String, BandwidthTrace)>>(iter: T) -> Self {
+        TraceBundle {
+            traces: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::from_mbps(x)
+    }
+
+    #[test]
+    fn step_replay_semantics() {
+        let mut t = BandwidthTrace::new("l");
+        t.push(SimTime::from_secs(10), mbps(5.0));
+        t.push(SimTime::from_secs(20), mbps(2.0));
+        assert_eq!(t.capacity_at(SimTime::from_secs(0)), Bandwidth::ZERO);
+        assert_eq!(t.capacity_at(SimTime::from_secs(10)), mbps(5.0));
+        assert_eq!(t.capacity_at(SimTime::from_secs(15)), mbps(5.0));
+        assert_eq!(t.capacity_at(SimTime::from_secs(25)), mbps(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn push_rejects_out_of_order() {
+        let mut t = BandwidthTrace::new("l");
+        t.push(SimTime::from_secs(10), mbps(5.0));
+        t.push(SimTime::from_secs(5), mbps(1.0));
+    }
+
+    #[test]
+    fn constant_trace() {
+        let t = BandwidthTrace::constant("c", mbps(30.0));
+        assert_eq!(t.capacity_at(SimTime::from_secs(1000)), mbps(30.0));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn min_max_and_flatten() {
+        let mut t = BandwidthTrace::new("l");
+        t.push(SimTime::ZERO, mbps(10.0));
+        t.push(SimTime::from_secs(1), mbps(30.0));
+        t.push(SimTime::from_secs(2), mbps(20.0));
+        assert_eq!(t.max_capacity(), mbps(30.0));
+        assert_eq!(t.min_capacity(), mbps(10.0));
+        let flat = t.flattened_to_max();
+        assert_eq!(flat.capacity_at(SimTime::ZERO), mbps(30.0));
+        assert_eq!(flat.len(), 1);
+    }
+
+    #[test]
+    fn scaled_and_floored() {
+        let t = BandwidthTrace::constant("c", mbps(10.0));
+        assert_eq!(t.scaled(0.5).capacity_at(SimTime::ZERO), mbps(5.0));
+        let mut low = BandwidthTrace::new("low");
+        low.push(SimTime::ZERO, mbps(0.5));
+        assert_eq!(
+            low.with_floor(mbps(1.0)).capacity_at(SimTime::ZERO),
+            mbps(1.0)
+        );
+    }
+
+    #[test]
+    fn stats_and_display() {
+        let mut t = BandwidthTrace::new("l");
+        t.push(SimTime::ZERO, mbps(10.0));
+        t.push(SimTime::from_secs(1), mbps(20.0));
+        let s = t.stats_mbps();
+        assert_eq!(s.mean(), 15.0);
+        assert!(t.to_string().contains("mean=15.00"));
+    }
+
+    #[test]
+    fn bundle_link_key_is_symmetric() {
+        assert_eq!(TraceBundle::link_key(3, 1), "n1-n3");
+        assert_eq!(TraceBundle::link_key(1, 3), "n1-n3");
+        let mut b = TraceBundle::new();
+        b.insert(
+            TraceBundle::link_key(2, 1),
+            BandwidthTrace::constant("t", mbps(1.0)),
+        );
+        assert!(b.get_link(1, 2).is_some());
+        assert!(b.get_link(2, 1).is_some());
+        assert!(b.get_link(1, 4).is_none());
+    }
+
+    #[test]
+    fn bundle_flatten() {
+        let mut t = BandwidthTrace::new("l");
+        t.push(SimTime::ZERO, mbps(5.0));
+        t.push(SimTime::from_secs(1), mbps(25.0));
+        let mut b = TraceBundle::new();
+        b.insert("k", t);
+        let flat = b.flattened_to_max();
+        assert_eq!(
+            flat.get("k").unwrap().capacity_at(SimTime::ZERO),
+            mbps(25.0)
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut b = TraceBundle::new();
+        b.insert("k", BandwidthTrace::constant("t", mbps(7.5)));
+        let json = serde_json::to_string(&b).unwrap();
+        let back: TraceBundle = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+}

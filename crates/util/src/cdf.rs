@@ -1,0 +1,142 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Several of the paper's figures (Fig. 14a/b) are CDF plots; [`Cdf`]
+//! produces the `(value, fraction)` point series those plots need.
+
+use crate::stats::Percentiles;
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a batch of samples.
+///
+/// # Examples
+///
+/// ```
+/// use bass_util::cdf::Cdf;
+///
+/// let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.value_at(1.0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    percentiles: Percentiles,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs dropped).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        Cdf {
+            percentiles: Percentiles::from_samples(samples),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.percentiles.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.percentiles.is_empty()
+    }
+
+    /// The fraction of samples `<= x`, in `[0, 1]`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        let sorted = self.percentiles.sorted_samples();
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let count = sorted.partition_point(|&s| s <= x);
+        count as f64 / sorted.len() as f64
+    }
+
+    /// The sample value at quantile `q` (inverse CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn value_at(&self, q: f64) -> f64 {
+        self.percentiles.quantile(q)
+    }
+
+    /// Down-samples the CDF into `n` evenly spaced `(value, fraction)`
+    /// points, suitable for plotting or for printing a figure's series.
+    ///
+    /// Returns an empty vector when `n == 0` or the CDF is empty.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        if n == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let q = if n == 1 { 1.0 } else { i as f64 / (n - 1) as f64 };
+                (self.value_at(q), q)
+            })
+            .collect()
+    }
+
+    /// Access to the underlying percentile summary.
+    pub fn percentiles(&self) -> &Percentiles {
+        &self.percentiles
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Cdf {
+            percentiles: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_is_monotone() {
+        let cdf = Cdf::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        let mut prev = 0.0;
+        for x in [0.0, 1.0, 2.5, 3.0, 4.9, 10.0] {
+            let f = cdf.fraction_at_or_below(x);
+            assert!(f >= prev, "CDF must be non-decreasing");
+            prev = f;
+        }
+        assert_eq!(cdf.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(5.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_counts_ties() {
+        let cdf = Cdf::from_samples(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+    }
+
+    #[test]
+    fn inverse_cdf() {
+        let cdf = Cdf::from_samples(&[10.0, 20.0, 30.0]);
+        assert_eq!(cdf.value_at(0.0), 10.0);
+        assert_eq!(cdf.value_at(0.5), 20.0);
+        assert_eq!(cdf.value_at(1.0), 30.0);
+    }
+
+    #[test]
+    fn points_shape() {
+        let cdf: Cdf = (1..=100).map(|i| i as f64).collect();
+        let pts = cdf.points(5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[4].1, 1.0);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn points_edge_cases() {
+        let empty = Cdf::from_samples(&[]);
+        assert!(empty.points(10).is_empty());
+        assert!(empty.is_empty());
+        let single = Cdf::from_samples(&[7.0]);
+        assert_eq!(single.points(1), vec![(7.0, 1.0)]);
+        assert!(single.points(0).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Video conference under a bandwidth squeeze: watch BASS migrate the
+//! SFU and the clients' bitrate recover (the Fig. 12 scenario).
+//!
+//! ```text
+//! cargo run --example video_conference
+//! ```
+
+use bass::apps::videoconf::{ClientGroup, VideoConfConfig, VideoConfWorkload, SFU_ID};
+use bass::apps::testbeds::lan_testbed;
+use bass::cluster::{Cluster, NodeSpec, RestartModel};
+use bass::core::SchedulerPolicy;
+use bass::emu::{Recorder, Scenario, SimEnv, SimEnvConfig};
+use bass::mesh::NodeId;
+use bass::util::time::{SimDuration, SimTime};
+use bass::util::units::Bandwidth;
+
+fn main() {
+    // 9 participants at node 0 (external clients), one sharing video.
+    let cfg = VideoConfConfig {
+        groups: vec![ClientGroup { node: NodeId(0), clients: 9, publishers: 1 }],
+        stream_kbps: 2000.0,
+    };
+    let (workload, dag, pins, pinned) = VideoConfWorkload::new(cfg);
+
+    let (mesh, _) = lan_testbed(3, 8);
+    let cluster = Cluster::new([
+        NodeSpec::cores_mb(0, 0, 0), // client attachment point, no compute
+        NodeSpec::cores_mb(1, 8, 16_384),
+        NodeSpec::cores_mb(2, 8, 16_384),
+    ])
+    .expect("unique nodes");
+
+    let mut env_cfg = SimEnvConfig {
+        policy: SchedulerPolicy::LongestPath,
+        pinned,
+        restart: RestartModel::webrtc(),
+        ..Default::default()
+    };
+    env_cfg.controller.cooldown = SimDuration::from_secs(30);
+    let mut env = SimEnv::new(mesh, cluster, dag, env_cfg);
+    env.deploy(&pins).expect("SFU deploys");
+    let sfu_node = env.placement()[&SFU_ID];
+    println!("SFU initially on node {sfu_node}");
+
+    // Squeeze the SFU's node to 4 Mbps for three minutes, 30 s in.
+    env.set_scenario(Scenario::new().restrict_node_egress(
+        sfu_node,
+        SimTime::from_secs(30),
+        SimTime::from_secs(210),
+        Bandwidth::from_mbps(4.0),
+    ));
+
+    let mut rec = Recorder::new();
+    env.run_for(SimDuration::from_secs(300), |e| workload.observe(e, &mut rec))
+        .expect("run completes");
+
+    println!("\n t(s)  bitrate/client (kbps)");
+    for (t, v) in rec.series("bitrate_kbps@n0").iter() {
+        let secs = t.as_secs_f64() as u64;
+        if secs.is_multiple_of(15) && t.as_micros().is_multiple_of(1_000_000) {
+            let bar = "#".repeat((v / 100.0) as usize);
+            println!("{secs:>5}  {v:>8.0} {bar}");
+        }
+    }
+    for m in &env.stats().migrations {
+        println!("\nmigration at {}: node {} -> node {}", m.at, m.from, m.to);
+    }
+    println!(
+        "probe overhead: {} across {} headroom rounds",
+        env.netmon().overhead().total_bytes(),
+        env.netmon().overhead().headroom_probes
+    );
+}

@@ -1,0 +1,29 @@
+//! # BASS — Bandwidth Aware Scheduling System (reproduction)
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+//!
+//! # Examples
+//!
+//! ```
+//! use bass::prelude::*;
+//!
+//! let b = Bandwidth::from_mbps(25.0);
+//! assert_eq!(b.as_kbps(), 25_000.0);
+//! ```
+
+pub use bass_appdag as appdag;
+pub use bass_apps as apps;
+pub use bass_cli as cli;
+pub use bass_cluster as cluster;
+pub use bass_core as core;
+pub use bass_emu as emu;
+pub use bass_mesh as mesh;
+pub use bass_netmon as netmon;
+pub use bass_trace as trace;
+pub use bass_util as util;
+
+/// Commonly used types from every layer of the stack.
+pub mod prelude {
+    pub use bass_util::prelude::*;
+}

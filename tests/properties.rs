@@ -1,0 +1,166 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use bass::appdag::{AppDag, ComponentId};
+use bass::cluster::{Cluster, NodeSpec};
+use bass::core::heuristics::{breadth_first, hybrid, longest_path, BfsWeighting};
+use bass::core::placement::pack_ordering;
+use bass::mesh::flow::{max_min_allocate, Constraint};
+use bass::mesh::{Mesh, NodeId, Topology};
+use bass::trace::OuTraceConfig;
+use bass::util::time::SimDuration;
+use bass::util::units::Bandwidth;
+use proptest::prelude::*;
+
+/// Random DAGs via the catalog's generator (structurally acyclic).
+fn arb_dag() -> impl Strategy<Value = AppDag> {
+    (2u32..12, any::<u64>())
+        .prop_map(|(n, seed)| bass::appdag::catalog::random_dag(seed, n, 0.35))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heuristics_produce_permutations(dag in arb_dag()) {
+        let mut expected: Vec<ComponentId> = dag.component_ids().collect();
+        expected.sort();
+        for ordering in [
+            breadth_first(&dag, BfsWeighting::EdgeWeight).unwrap(),
+            breadth_first(&dag, BfsWeighting::CumulativePath).unwrap(),
+            longest_path(&dag).unwrap(),
+            hybrid(&dag, 3).unwrap(),
+        ] {
+            let mut got = ordering.flatten();
+            got.sort();
+            prop_assert_eq!(got, expected.clone());
+        }
+    }
+
+    #[test]
+    fn longest_path_groups_are_dag_chains(dag in arb_dag()) {
+        let ordering = longest_path(&dag).unwrap();
+        for group in ordering.groups() {
+            for pair in group.windows(2) {
+                // Consecutive chain members are connected by a DAG edge.
+                prop_assert!(
+                    !dag.bandwidth_between(pair[0], pair[1]).is_zero(),
+                    "chain break: {} -> {}", pair[0], pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packing_never_oversubscribes(dag in arb_dag(), cores in 4u64..16) {
+        let topo = Topology::full_mesh(4);
+        let mesh = Mesh::with_uniform_capacity(topo, Bandwidth::from_mbps(100.0)).unwrap();
+        let mut cluster =
+            Cluster::new((0..4).map(|i| NodeSpec::cores_mb(i, cores, 16_384))).unwrap();
+        let ordering = longest_path(&dag).unwrap();
+        // Packing may legitimately fail when the DAG is too big; when it
+        // succeeds the cluster must be consistent.
+        if pack_ordering(&ordering, &dag, &mut cluster, &mesh).is_ok() {
+            prop_assert!(cluster.check_invariants().is_ok());
+            prop_assert_eq!(cluster.placed_count(), dag.component_count());
+        }
+    }
+
+    #[test]
+    fn max_min_allocation_is_feasible_and_bounded(
+        demands_mbps in proptest::collection::vec(0.0f64..50.0, 1..20),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = bass::util::rng::SimRng::seed_from_u64(seed);
+        let demands: Vec<Bandwidth> =
+            demands_mbps.iter().map(|&m| Bandwidth::from_mbps(m)).collect();
+        let constraints: Vec<Constraint> = (0..5)
+            .map(|_| Constraint {
+                capacity: Bandwidth::from_mbps(rng.uniform(0.0, 60.0)),
+                members: (0..demands.len()).filter(|_| rng.chance(0.4)).collect(),
+            })
+            .collect();
+        let rates = max_min_allocate(&demands, &constraints);
+        // Demand-bounded.
+        for (r, d) in rates.iter().zip(&demands) {
+            prop_assert!(r.as_bps() <= d.as_bps() + 1.0, "rate {r} demand {d}");
+            prop_assert!(r.as_bps() >= 0.0);
+        }
+        // Capacity-feasible.
+        for c in &constraints {
+            let used: f64 = c.members.iter().map(|&m| rates[m].as_bps()).sum();
+            prop_assert!(used <= c.capacity.as_bps() + 10.0, "used {used} cap {}", c.capacity);
+        }
+    }
+
+    #[test]
+    fn max_min_is_pareto_efficient(
+        demands_mbps in proptest::collection::vec(1.0f64..50.0, 1..12),
+        cap in 1.0f64..80.0,
+    ) {
+        // Single shared constraint: either every demand is met, or the
+        // constraint is saturated (no allocation can be raised without
+        // lowering another).
+        let demands: Vec<Bandwidth> =
+            demands_mbps.iter().map(|&m| Bandwidth::from_mbps(m)).collect();
+        let constraints = vec![Constraint {
+            capacity: Bandwidth::from_mbps(cap),
+            members: (0..demands.len()).collect(),
+        }];
+        let rates = max_min_allocate(&demands, &constraints);
+        let used: f64 = rates.iter().map(|r| r.as_mbps()).sum();
+        let total_demand: f64 = demands_mbps.iter().sum();
+        if total_demand <= cap {
+            prop_assert!((used - total_demand).abs() < 1e-3, "all demand served");
+        } else {
+            prop_assert!((used - cap).abs() < 1e-3, "link saturated: {used} vs {cap}");
+        }
+    }
+
+    #[test]
+    fn routing_paths_are_simple_and_connected(n in 2u32..10, extra in 0usize..10, seed in any::<u64>()) {
+        // Ring + random chords is always connected.
+        let mut rng = bass::util::rng::SimRng::seed_from_u64(seed);
+        let mut topo = Topology::new();
+        for i in 0..n {
+            topo.add_node(NodeId(i)).unwrap();
+        }
+        for i in 0..n {
+            topo.add_link(NodeId(i), NodeId((i + 1) % n)).ok();
+        }
+        for _ in 0..extra {
+            let a = rng.below(n as u64) as u32;
+            let b = rng.below(n as u64) as u32;
+            if a != b {
+                topo.add_link(NodeId(a), NodeId(b)).ok();
+            }
+        }
+        let mesh = Mesh::with_uniform_capacity(topo, Bandwidth::from_mbps(10.0)).unwrap();
+        for a in 0..n {
+            for b in 0..n {
+                let path = mesh.path(NodeId(a), NodeId(b)).unwrap();
+                prop_assert_eq!(path[0], NodeId(a));
+                prop_assert_eq!(*path.last().unwrap(), NodeId(b));
+                // Simple: no repeated nodes.
+                let mut seen = path.to_vec();
+                seen.sort();
+                seen.dedup();
+                prop_assert_eq!(seen.len(), path.len());
+            }
+        }
+    }
+
+    #[test]
+    fn trace_generator_is_nonnegative_and_deterministic(
+        mean in 0.5f64..40.0,
+        rel_std in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = OuTraceConfig::new("t", mean).relative_std(rel_std);
+        let a = cfg.generate(seed, SimDuration::from_secs(120));
+        let b = cfg.generate(seed, SimDuration::from_secs(120));
+        prop_assert_eq!(&a, &b);
+        for &(_, bw) in a.samples() {
+            prop_assert!(bw.as_bps() >= 0.0);
+        }
+    }
+}
