@@ -1,14 +1,16 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--out DIR] [id...]
+//! experiments [--quick] [--out DIR] [--journal FILE] [id...]
 //! ```
 //!
 //! With no ids, every experiment runs in paper order. Each report is
 //! printed to stdout and written as JSON under `--out` (default
-//! `results/`).
+//! `results/`). With `--journal FILE`, experiments that replay a full
+//! control-loop scenario (currently `fig13`) append their structured
+//! event stream to FILE as JSON lines — see `docs/OBSERVABILITY.md`.
 
-use bass_bench::experiments::{run, ALL_IDS};
+use bass_bench::experiments::{run_with_journal, ALL_IDS};
 use bass_bench::RunMode;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,6 +18,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut mode = RunMode::Full;
     let mut out_dir = PathBuf::from("results");
+    let mut journal_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,8 +31,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--journal" => match args.next() {
+                Some(path) => journal_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--journal requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: experiments [--quick] [--out DIR] [id...]");
+                println!("usage: experiments [--quick] [--out DIR] [--journal FILE] [id...]");
                 println!("experiments: {}", ALL_IDS.join(" "));
                 return ExitCode::SUCCESS;
             }
@@ -45,11 +55,23 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let mut journal = match &journal_path {
+        Some(path) => match bass_obs::Journal::with_file(path) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("cannot open journal {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let mut failed = false;
     for id in &ids {
         let started = std::time::Instant::now();
-        match run(id, mode) {
-            Some(report) => {
+        match run_with_journal(id, mode, journal.take()) {
+            Some((report, returned)) => {
+                journal = returned;
                 println!("{report}");
                 println!(
                     "({} completed in {:.1}s)\n",
@@ -74,6 +96,14 @@ fn main() -> ExitCode {
                 eprintln!("unknown experiment '{id}' (known: {})", ALL_IDS.join(", "));
                 failed = true;
             }
+        }
+    }
+    if let (Some(mut j), Some(path)) = (journal, &journal_path) {
+        if let Err(e) = j.flush() {
+            eprintln!("cannot flush journal {}: {e}", path.display());
+            failed = true;
+        } else {
+            println!("journal: {} events -> {}", j.total_recorded(), path.display());
         }
     }
     if failed {

@@ -16,6 +16,19 @@ use bass_util::units::Bandwidth;
 
 /// Runs the experiment.
 pub fn run(mode: RunMode) -> ExperimentReport {
+    run_observed(mode, None).0
+}
+
+/// Runs the experiment, attaching `journal` to the 30 s-interval run.
+///
+/// The 30 s configuration is the paper's headline setting, so its run
+/// narrates the full decision sequence (probes, triggers, target
+/// choices) into the journal. The journal is returned so the caller
+/// can flush or export it.
+pub fn run_observed(
+    mode: RunMode,
+    mut journal: Option<bass_obs::Journal>,
+) -> (ExperimentReport, Option<bass_obs::Journal>) {
     let mut report = ExperimentReport::new(
         "fig13",
         "social latency under squeeze, by monitoring interval",
@@ -57,8 +70,16 @@ pub fn run(mode: RunMode) -> ExperimentReport {
                 Bandwidth::from_mbps(25.0),
             );
         env.set_scenario(scenario);
+        if label == "30s interval" {
+            if let Some(j) = journal.take() {
+                env.attach_journal(j);
+            }
+        }
         let mut rec = Recorder::new();
         wl.run(&mut env, total, &mut rec).expect("run completes");
+        if let Some(j) = env.take_journal() {
+            journal = Some(j);
+        }
 
         let series = rec.series("avg_latency_ms");
         let during = series
@@ -77,7 +98,7 @@ pub fn run(mode: RunMode) -> ExperimentReport {
             series.iter().map(|(t, v)| (t.as_secs_f64(), v)).collect();
         report.push_series(label, &points, 200);
     }
-    report
+    (report, journal)
 }
 
 #[cfg(test)]
@@ -96,6 +117,19 @@ mod tests {
             m_without > m_with * 1.3,
             "no-migration {m_without} should be much worse than migrating {m_with}"
         );
+    }
+
+    #[test]
+    fn observed_run_narrates_the_migration_decision() {
+        let (_, journal) = run_observed(RunMode::Quick, Some(bass_obs::Journal::new()));
+        let journal = journal.expect("journal handed back");
+        for kind in [
+            "probe_completed",
+            "migration_triggered",
+            "migration_target_chosen",
+        ] {
+            assert!(journal.count(kind) >= 1, "journal missing {kind} events");
+        }
     }
 
     #[test]

@@ -36,6 +36,23 @@ pub const ALL_IDS: &[&str] = &[
 ///
 /// Returns `None` for unknown ids.
 pub fn run(id: &str, mode: RunMode) -> Option<ExperimentReport> {
+    run_with_journal(id, mode, None).map(|(report, _)| report)
+}
+
+/// Runs one experiment by id, offering it an event journal.
+///
+/// Only experiments that replay a full control-loop scenario narrate
+/// into the journal (currently `fig13`, whose 30 s-interval run is the
+/// paper's headline migration timeline); the rest return the journal
+/// untouched. Returns `None` for unknown ids.
+pub fn run_with_journal(
+    id: &str,
+    mode: RunMode,
+    journal: Option<bass_obs::Journal>,
+) -> Option<(ExperimentReport, Option<bass_obs::Journal>)> {
+    if id == "fig13" {
+        return Some(fig13::run_observed(mode, journal));
+    }
     let report = match id {
         "fig2" => fig2::run(mode),
         "fig4" => fig4::run(mode),
@@ -45,7 +62,6 @@ pub fn run(id: &str, mode: RunMode) -> Option<ExperimentReport> {
         "fig10" => fig10::run(mode),
         "fig11" => fig11::run(mode),
         "fig12" => fig12::run(mode),
-        "fig13" => fig13::run(mode),
         "tab1" => tab1::run(mode),
         "tab2" => tab2::run(mode),
         "fig14a" => fig14a::run(mode),
@@ -58,5 +74,5 @@ pub fn run(id: &str, mode: RunMode) -> Option<ExperimentReport> {
         "ablation" => ablation::run(mode),
         _ => return None,
     };
-    Some(report)
+    Some((report, journal))
 }

@@ -4,7 +4,7 @@
 //! bassctl order    --manifest app.json [--policy bfs|longest-path|hybrid|k3s]
 //! bassctl place    --manifest app.json --testbed mesh.json [--policy …] [--seed N] [--json]
 //! bassctl simulate --manifest app.json --testbed mesh.json [--policy …] [--duration SECS]
-//!                  [--no-migrations] [--seed N] [--json]
+//!                  [--no-migrations] [--seed N] [--json] [--journal events.jsonl]
 //! bassctl recommend --manifest app.json --testbed mesh.json [--json]
 //! bassctl traces   --testbed mesh.json [--duration SECS] [--seed N]
 //! bassctl schema                       # print example input files
@@ -25,6 +25,7 @@ struct Args {
     migrations: bool,
     seed: u64,
     json: bool,
+    journal: Option<String>,
 }
 
 fn parse_policy(name: &str) -> Result<SchedulerPolicy, String> {
@@ -49,6 +50,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         migrations: true,
         seed: 42,
         json: false,
+        journal: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or(format!("{name} requires a value"));
@@ -68,6 +70,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             }
             "--no-migrations" => args.migrations = false,
             "--json" => args.json = true,
+            "--journal" => args.journal = Some(value("--journal")?),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -177,6 +180,7 @@ fn run() -> Result<(), String> {
                     duration_s: args.duration_s,
                     migrations: args.migrations,
                     seed: args.seed,
+                    journal: args.journal.clone().map(std::path::PathBuf::from),
                 },
             )
             .map_err(|e| e.to_string())?;
@@ -196,6 +200,9 @@ fn run() -> Result<(), String> {
                     outcome.worst_goodput_fraction * 100.0
                 );
                 println!("probe overhead: {} bytes", outcome.probe_bytes);
+                if let (Some(n), Some(path)) = (outcome.journal_events, &args.journal) {
+                    println!("journal: {n} events -> {path}");
+                }
             }
             Ok(())
         }

@@ -24,6 +24,8 @@ pub enum CommandError {
     Schedule(bass_core::scheduler::ScheduleError),
     /// Simulation failed.
     Env(EnvError),
+    /// The journal sink could not be opened.
+    Journal(std::io::Error),
 }
 
 impl fmt::Display for CommandError {
@@ -33,6 +35,7 @@ impl fmt::Display for CommandError {
             CommandError::Testbed(e) => write!(f, "testbed error: {e}"),
             CommandError::Schedule(e) => write!(f, "scheduling error: {e}"),
             CommandError::Env(e) => write!(f, "simulation error: {e}"),
+            CommandError::Journal(e) => write!(f, "journal error: {e}"),
         }
     }
 }
@@ -44,6 +47,7 @@ impl Error for CommandError {
             CommandError::Testbed(e) => Some(e),
             CommandError::Schedule(e) => Some(e),
             CommandError::Env(e) => Some(e),
+            CommandError::Journal(e) => Some(e),
         }
     }
 }
@@ -133,7 +137,7 @@ fn outcome_from(dag: &AppDag, placement: &bass_cluster::Placement) -> PlaceOutco
 }
 
 /// Options for `bassctl simulate`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimulateOptions {
     /// Placement policy.
     pub policy: SchedulerPolicy,
@@ -143,6 +147,9 @@ pub struct SimulateOptions {
     pub migrations: bool,
     /// Random seed (traces and workload noise).
     pub seed: u64,
+    /// When set, stream the run's structured event journal (see
+    /// `docs/OBSERVABILITY.md`) to this path as JSON lines.
+    pub journal: Option<std::path::PathBuf>,
 }
 
 impl Default for SimulateOptions {
@@ -152,6 +159,7 @@ impl Default for SimulateOptions {
             duration_s: 300,
             migrations: true,
             seed: 42,
+            journal: None,
         }
     }
 }
@@ -169,6 +177,9 @@ pub struct SimulateOutcome {
     pub worst_goodput_fraction: f64,
     /// Probe overhead in bytes.
     pub probe_bytes: u64,
+    /// Structured events written to the `--journal` sink (`None` when no
+    /// journal was requested).
+    pub journal_events: Option<u64>,
 }
 
 /// `bassctl simulate`: deploy the manifest on the testbed, drive edge
@@ -192,6 +203,10 @@ pub fn simulate(
         ..Default::default()
     };
     let mut env = SimEnv::new(mesh, cluster, dag, cfg);
+    if let Some(path) = &opts.journal {
+        let journal = bass_obs::Journal::with_file(path).map_err(CommandError::Journal)?;
+        env.attach_journal(journal);
+    }
     let initial_placement = env.deploy(&[])?;
     let dag = env.dag().clone();
     let initial = outcome_from(&dag, &initial_placement);
@@ -239,6 +254,10 @@ pub fn simulate(
             .collect(),
         worst_goodput_fraction: worst,
         probe_bytes: env.netmon().overhead().total_bytes().as_bytes(),
+        journal_events: env.take_journal().map(|mut j| {
+            let _ = j.flush();
+            j.total_recorded()
+        }),
     })
 }
 
@@ -373,6 +392,7 @@ mod tests {
                 duration_s: 240,
                 migrations: true,
                 seed: 1,
+                journal: None,
             },
         )
         .unwrap();

@@ -91,6 +91,35 @@ fn simulate_reports_json_outcome() {
 }
 
 #[test]
+fn simulate_journal_writes_parseable_events() {
+    let dir = temp_dir("journal");
+    let (app, mesh) = write_schema_files(&dir);
+    let journal = dir.join("events.jsonl");
+    let out = bassctl()
+        .args(["simulate", "--manifest"])
+        .arg(&app)
+        .arg("--testbed")
+        .arg(&mesh)
+        .args(["--duration", "60", "--json", "--journal"])
+        .arg(&journal)
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let parsed: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    let reported = parsed["journal_events"].as_u64().expect("journal_events");
+    let text = std::fs::read_to_string(&journal).expect("journal file written");
+    let events = bass_obs::parse_jsonl(&text).expect("journal parses back");
+    assert_eq!(events.len() as u64, reported);
+    // The run always narrates the startup probe, all five placements,
+    // and each of the 600 ticks.
+    let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count();
+    assert!(count("probe_completed") >= 1);
+    assert_eq!(count("placement_decided"), 5);
+    assert_eq!(count("tick_completed"), 600);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown command.
     let out = bassctl().arg("frobnicate").output().expect("runs");

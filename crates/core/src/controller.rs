@@ -143,18 +143,39 @@ impl BassController {
         cluster: &Cluster,
         pinned: &std::collections::BTreeSet<ComponentId>,
     ) -> ControllerOutcome {
+        self.tick_observed(mesh, netmon, goodput, dag, cluster, pinned, None)
+    }
+
+    /// [`tick`](Self::tick) that narrates its decisions into a journal:
+    /// [`ProbeCompleted`](bass_obs::Event::ProbeCompleted) for each probe,
+    /// [`MigrationTriggered`](bass_obs::Event::MigrationTriggered) per
+    /// threshold crossing, [`MigrationTargetChosen`](bass_obs::Event::MigrationTargetChosen)
+    /// per feasible plan, and [`PlacementRejected`](bass_obs::Event::PlacementRejected)
+    /// per candidate with no feasible target. With `None` it behaves
+    /// exactly like [`tick`](Self::tick).
+    #[allow(clippy::too_many_arguments)]
+    pub fn tick_observed(
+        &mut self,
+        mesh: &Mesh,
+        netmon: &mut NetMonitor,
+        goodput: &GoodputMonitor,
+        dag: &AppDag,
+        cluster: &Cluster,
+        pinned: &std::collections::BTreeSet<ComponentId>,
+        mut journal: Option<&mut bass_obs::Journal>,
+    ) -> ControllerOutcome {
         let now = mesh.now();
         let mut outcome = ControllerOutcome::default();
 
         if !netmon.headroom_probe_due(now) {
             return outcome;
         }
-        let report = netmon.headroom_probe(mesh);
+        let report = netmon.headroom_probe_observed(mesh, journal.as_deref_mut());
         let newly_violated = !report.newly_violated.is_empty();
         outcome.headroom = Some(report);
 
         if newly_violated && self.cfg.full_probe_on_headroom_drop {
-            netmon.full_probe(mesh);
+            netmon.full_probe_observed(mesh, journal.as_deref_mut());
             self.full_probes_triggered += 1;
             outcome.full_probe = true;
         }
@@ -165,6 +186,27 @@ impl BassController {
 
         let placement = cluster.placement();
         let candidates = find_candidates(dag, &placement, goodput, mesh, &self.cfg.migration, pinned);
+        if let Some(j) = journal.as_deref_mut() {
+            for v in &candidates.violations {
+                let threshold = match v.trigger {
+                    crate::migration::TriggerKind::Degradation => {
+                        self.cfg.migration.goodput_threshold
+                    }
+                    crate::migration::TriggerKind::Utilization => {
+                        self.cfg.migration.utilization_threshold
+                    }
+                };
+                j.record(bass_obs::Event::MigrationTriggered {
+                    t_s: now.as_secs_f64(),
+                    component: v.component.0,
+                    dependency: v.dependency.0,
+                    trigger: format!("{:?}", v.trigger),
+                    required_mbps: v.required.as_mbps(),
+                    goodput_fraction: v.goodput_fraction,
+                    threshold,
+                });
+            }
+        }
         for &component in &candidates.to_migrate {
             let Some(from) = cluster.node_of(component) else {
                 continue;
@@ -181,8 +223,29 @@ impl BassController {
                 self.cfg.best_effort_targets,
             );
             match target {
-                Ok(to) => outcome.plans.push(MigrationPlan { component, from, to }),
-                Err(_) => outcome.unplaceable.push(component),
+                Ok(to) => {
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.record(bass_obs::Event::MigrationTargetChosen {
+                            t_s: now.as_secs_f64(),
+                            component: component.0,
+                            from: from.0,
+                            to: to.0,
+                            observed_goodput_fraction: observed,
+                            degraded,
+                        });
+                    }
+                    outcome.plans.push(MigrationPlan { component, from, to });
+                }
+                Err(_) => {
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.record(bass_obs::Event::PlacementRejected {
+                            t_s: now.as_secs_f64(),
+                            component: component.0,
+                            reason: "no feasible target".to_string(),
+                        });
+                    }
+                    outcome.unplaceable.push(component);
+                }
             }
         }
         outcome.candidates = candidates;
@@ -366,6 +429,53 @@ mod tests {
         let o = ctl.tick(&w.mesh, &mut w.netmon, &w.goodput, &w.dag, &w.cluster, &Default::default());
         assert!(!o.full_probe);
         assert_eq!(ctl.full_probes_triggered(), 0);
+    }
+
+    #[test]
+    fn observed_tick_narrates_the_migration_decision() {
+        let mut w = world();
+        let mut ctl = BassController::new(ControllerConfig::default());
+        let mut journal = bass_obs::Journal::new();
+        w.mesh.set_link_cap(NodeId(0), NodeId(1), Some(mbps(2.0))).unwrap();
+        w.mesh.advance(SimDuration::from_secs(30));
+        measure(&mut w);
+        let o = ctl.tick_observed(
+            &w.mesh,
+            &mut w.netmon,
+            &w.goodput,
+            &w.dag,
+            &w.cluster,
+            &Default::default(),
+            Some(&mut journal),
+        );
+        assert_eq!(o.plans.len(), 1);
+        // Headroom probe, escalated full probe, trigger, then target.
+        let kinds: Vec<&str> = journal.events().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "probe_completed",
+                "probe_completed",
+                "migration_triggered",
+                "migration_target_chosen"
+            ]
+        );
+        let sampler = w.dag.component_by_name("frame-sampler").unwrap().id;
+        match journal.events().last().unwrap() {
+            bass_obs::Event::MigrationTargetChosen { component, from, to, degraded, .. } => {
+                assert_eq!(*component, sampler.0);
+                assert_eq!(*from, 0);
+                assert_eq!(*to, 2);
+                assert!(degraded);
+            }
+            other => panic!("expected MigrationTargetChosen, got {other:?}"),
+        }
+        // The None path matches tick() exactly and emits nothing further.
+        let before = journal.total_recorded();
+        w.mesh.advance(SimDuration::from_secs(1));
+        let quiet = ctl.tick(&w.mesh, &mut w.netmon, &w.goodput, &w.dag, &w.cluster, &Default::default());
+        assert!(quiet.is_quiet());
+        assert_eq!(journal.total_recorded(), before);
     }
 
     use bass_appdag::AppDag;

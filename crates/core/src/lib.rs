@@ -24,6 +24,14 @@
 //! - [`planner`]: what-if evaluation of every policy on a scratch
 //!   cluster, automating §3.2.1's "developer picks the heuristic".
 //! - [`tuning`]: the §8 auto-tuning extension for (threshold, headroom).
+//!
+//! Decision points across the crate optionally narrate what they did
+//! into a `bass_obs::Journal` (see `docs/OBSERVABILITY.md`): the
+//! controller's `tick_observed`, the planner's `recommend_observed`,
+//! and the tuner's `tune_observed` emit structured events while the
+//! plain entry points stay observation-free.
+
+#![warn(missing_docs)]
 
 pub mod controller;
 pub mod heuristics;

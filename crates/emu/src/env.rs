@@ -157,6 +157,7 @@ pub struct SimEnv {
     last_route_update: SimTime,
     deployed: bool,
     stats: EnvStats,
+    journal: Option<bass_obs::Journal>,
 }
 
 impl SimEnv {
@@ -180,12 +181,44 @@ impl SimEnv {
             last_route_update: SimTime::ZERO,
             deployed: false,
             stats: EnvStats::default(),
+            journal: None,
         }
     }
 
     /// Installs the network scenario script.
     pub fn set_scenario(&mut self, scenario: Scenario) {
         self.scenario = scenario;
+    }
+
+    /// Attaches a structured-event journal: from now on, every probe,
+    /// capacity change, trigger, target choice, placement, and tick is
+    /// recorded into it (see the `bass-obs` crate and
+    /// `docs/OBSERVABILITY.md`). Without a journal the environment pays
+    /// no observability cost.
+    pub fn attach_journal(&mut self, journal: bass_obs::Journal) {
+        self.journal = Some(journal);
+        // If attached after `deploy`, establish the capacity baseline
+        // now so that later scenario cuts and trace drift are reported
+        // as changes rather than silently becoming the baseline.
+        if let Some(j) = self.journal.as_mut() {
+            self.mesh.emit_capacity_changes(j, "scenario");
+        }
+    }
+
+    /// Detaches and returns the journal, if one was attached.
+    pub fn take_journal(&mut self) -> Option<bass_obs::Journal> {
+        self.journal.take()
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&bass_obs::Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Mutable access to the attached journal (for workloads that emit
+    /// their own counters or gauges alongside the built-in events).
+    pub fn journal_mut(&mut self) -> Option<&mut bass_obs::Journal> {
+        self.journal.as_mut()
     }
 
     /// Enables online bandwidth-requirement profiling (the paper's §8
@@ -212,7 +245,8 @@ impl SimEnv {
     /// Fails if a pin is unknown, scheduling fails, or flows cannot be
     /// created.
     pub fn deploy(&mut self, pins: &[(ComponentId, NodeId)]) -> Result<Placement, EnvError> {
-        self.netmon.full_probe(&self.mesh);
+        self.netmon
+            .full_probe_observed(&self.mesh, self.journal.as_mut());
         for &(cid, node) in pins {
             let comp = self
                 .dag
@@ -260,7 +294,26 @@ impl SimEnv {
         }
         self.deployed = true;
         self.rebuild_all_edges()?;
-        Ok(self.cluster.placement())
+        let placement = self.cluster.placement();
+        if let Some(j) = self.journal.as_mut() {
+            let crossing_mbps =
+                bass_core::placement::crossing_bandwidth(&self.dag, &placement).as_mbps();
+            let policy = self.cfg.policy.to_string();
+            let t_s = self.mesh.now().as_secs_f64();
+            for (&component, &node) in &placement {
+                j.record(bass_obs::Event::PlacementDecided {
+                    t_s,
+                    component: component.0,
+                    node: node.0,
+                    policy: policy.clone(),
+                    crossing_mbps,
+                });
+            }
+            // Establish the capacity baseline so later scenario/trace
+            // changes are reported as deltas against deploy time.
+            self.mesh.emit_capacity_changes(j, "scenario");
+        }
+        Ok(placement)
     }
 
     /// Tears down all mesh flows for DAG edges and recreates them from
@@ -337,7 +390,13 @@ impl SimEnv {
         assert!(self.deployed, "call deploy() before step()");
         // 1. Scenario actions due now.
         let now = self.mesh.now();
+        let pending_before = self.scenario.remaining();
         self.scenario.apply_due(&mut self.mesh, now)?;
+        if pending_before != self.scenario.remaining() {
+            if let Some(j) = self.journal.as_mut() {
+                self.mesh.emit_capacity_changes(j, "scenario");
+            }
+        }
 
         // 1b. Routing protocol adaptation (ETX-like: expensive links are
         // avoided), independent of — and invisible to — the controller.
@@ -373,7 +432,7 @@ impl SimEnv {
         }
 
         // 3. Advance the network.
-        self.mesh.advance(self.cfg.step);
+        self.mesh.advance_observed(self.cfg.step, self.journal.as_mut());
         let now = self.mesh.now();
 
         // 4. Passive goodput measurement.
@@ -391,13 +450,14 @@ impl SimEnv {
 
         // 5. Controller.
         if self.cfg.migrations_enabled {
-            let outcome = self.controller.tick(
+            let outcome = self.controller.tick_observed(
                 &self.mesh,
                 &mut self.netmon,
                 &self.goodput,
                 &self.dag,
                 &self.cluster,
                 &self.cfg.pinned,
+                self.journal.as_mut(),
             );
             let plans: Vec<MigrationPlan> = outcome
                 .plans
@@ -415,6 +475,16 @@ impl SimEnv {
             for plan in plans {
                 self.apply_migration(plan)?;
             }
+        }
+
+        // 6. Close the tick span.
+        if let Some(j) = self.journal.as_mut() {
+            j.record(bass_obs::Event::TickCompleted {
+                t_s: now.as_secs_f64(),
+                step_ms: self.cfg.step.as_secs_f64() * 1e3,
+                flows: self.mesh.flow_count() as u32,
+                migrations_total: self.stats.migrations.len() as u64,
+            });
         }
         Ok(())
     }
@@ -440,6 +510,13 @@ impl SimEnv {
     fn apply_migration(&mut self, plan: MigrationPlan) -> Result<(), EnvError> {
         if self.cluster.relocate(plan.component, plan.to).is_err() {
             self.stats.unplaceable += 1;
+            if let Some(j) = self.journal.as_mut() {
+                j.record(bass_obs::Event::PlacementRejected {
+                    t_s: self.mesh.now().as_secs_f64(),
+                    component: plan.component.0,
+                    reason: "relocate failed".to_string(),
+                });
+            }
             return Ok(());
         }
         let now = self.mesh.now();
@@ -921,5 +998,70 @@ mod tests {
     fn step_before_deploy_panics() {
         let mut env = camera_env(SchedulerPolicy::LongestPath);
         let _ = env.step();
+    }
+
+    #[test]
+    fn journal_reconstructs_the_migration_decision() {
+        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        env.attach_journal(bass_obs::Journal::new());
+        env.deploy(&[]).unwrap();
+        // Deploy narrates one initial full probe and every binding.
+        assert_eq!(env.journal().unwrap().count("probe_completed"), 1);
+        assert_eq!(env.journal().unwrap().count("placement_decided"), 5);
+        let dag = env.dag().clone();
+        let id = |n: &str| dag.component_by_name(n).unwrap().id;
+        let placement = env.placement();
+        env.set_scenario(Scenario::new().at(
+            SimTime::from_secs(60),
+            crate::scenario::Action::CapLink {
+                a: placement[&id("frame-sampler")],
+                b: placement[&id("object-detector")],
+                cap: Some(mbps(2.0)),
+            },
+        ));
+        env.run_for(SimDuration::from_secs(120), |_| {}).unwrap();
+        assert!(!env.stats().migrations.is_empty());
+        let journal = env.take_journal().unwrap();
+        // The squeeze is visible as a scenario-caused capacity change …
+        let cut = journal
+            .events()
+            .find_map(|e| match e {
+                bass_obs::Event::LinkCapacityChanged { t_s, new_mbps, cause, .. } => {
+                    Some((*t_s, *new_mbps, cause.clone()))
+                }
+                _ => None,
+            })
+            .expect("capacity cut journalled");
+        assert_eq!(cut, (60.0, 2.0, "scenario".to_string()));
+        // … followed by trigger and target events in causal order.
+        for kind in ["migration_triggered", "migration_target_chosen"] {
+            assert!(journal.count(kind) >= 1, "missing {kind}");
+        }
+        let t_trigger = journal
+            .events_of_kind("migration_triggered")
+            .next()
+            .unwrap()
+            .t_s();
+        let t_target = journal
+            .events_of_kind("migration_target_chosen")
+            .next()
+            .unwrap()
+            .t_s();
+        assert!(cut.0 <= t_trigger && t_trigger <= t_target);
+        // Ticks were spanned and the final tick counts the migrations.
+        assert!(journal.count("tick_completed") >= 1000);
+        match journal.events_of_kind("tick_completed").last().unwrap() {
+            bass_obs::Event::TickCompleted { migrations_total, .. } => {
+                assert_eq!(*migrations_total, env.stats().migrations.len() as u64);
+            }
+            other => panic!("expected TickCompleted, got {other:?}"),
+        }
+        // The registry lands in a Recorder as obs.event.* series.
+        let mut rec = crate::Recorder::new();
+        rec.absorb_metrics(journal.metrics(), env.now());
+        assert_eq!(
+            rec.series("obs.event.migration_target_chosen").len(),
+            1
+        );
     }
 }

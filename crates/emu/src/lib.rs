@@ -19,6 +19,13 @@
 //! - [`mod@env`]: the environment facade.
 //! - [`scenario`]: timed network actions (`tc` equivalents).
 //! - [`metrics`]: time-series / percentile recording for experiments.
+//!
+//! Attach a `bass_obs::Journal` via [`env::SimEnv::attach_journal`] and
+//! the environment narrates every probe, trigger, target choice,
+//! capacity change, and tick as structured events — the schema is
+//! documented in `docs/OBSERVABILITY.md`.
+
+#![warn(missing_docs)]
 
 pub mod env;
 pub mod metrics;

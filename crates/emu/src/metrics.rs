@@ -123,6 +123,20 @@ impl Recorder {
         Ok(())
     }
 
+    /// Folds a `bass-obs` metrics snapshot into this recorder: every
+    /// counter and gauge becomes a single `(at, value)` point on the
+    /// series of the same name (counters cast to `f64`). Called at the
+    /// end of a run, this lands the observability registry (e.g. the
+    /// per-kind `obs.event.*` counters) next to the experiment series.
+    pub fn absorb_metrics(&mut self, metrics: &bass_obs::Metrics, at: SimTime) {
+        for (name, v) in metrics.counters() {
+            self.record_series(name, at, v as f64);
+        }
+        for (name, v) in metrics.gauges() {
+            self.record_series(name, at, v);
+        }
+    }
+
     /// Merges another recorder's content into this one (series must not
     /// overlap in time if shared; samples simply concatenate).
     pub fn merge(&mut self, other: &Recorder) {
@@ -199,6 +213,60 @@ mod tests {
         let mut buf = Vec::new();
         r.write_samples_csv("p", &mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), "p\n1.500000\n");
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse_to_that_sample() {
+        let mut r = Recorder::new();
+        r.record_sample("lat", 7.5);
+        let p = r.percentiles("lat");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.median(), 7.5);
+        assert_eq!(p.p95(), 7.5);
+        assert_eq!(p.p99(), 7.5);
+        assert_eq!(p.quantile(0.0), 7.5);
+        assert_eq!(p.quantile(1.0), 7.5);
+        assert_eq!(r.stats("lat").mean(), 7.5);
+        assert_eq!(r.cdf("lat").fraction_at_or_below(7.5), 1.0);
+    }
+
+    #[test]
+    fn empty_percentiles_are_well_defined() {
+        let r = Recorder::new();
+        let p = r.percentiles("lat");
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert!(r.cdf("lat").is_empty());
+        assert_eq!(r.stats("lat").min(), None);
+    }
+
+    #[test]
+    fn merging_empty_recorders_is_a_no_op() {
+        let mut a = Recorder::new();
+        a.record_series("ts", SimTime::from_secs(1), 1.0);
+        a.record_sample("lat", 1.0);
+        // Empty into populated: nothing changes.
+        let before = a.clone();
+        a.merge(&Recorder::new());
+        assert_eq!(a, before);
+        // Populated into empty: everything copies over.
+        let mut empty = Recorder::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        // A series that exists on one side only merges as-is.
+        let mut b = Recorder::new();
+        b.record_series("other", SimTime::from_secs(2), 2.0);
+        a.merge(&b);
+        assert_eq!(a.series("ts").len(), 1);
+        assert_eq!(a.series("other").len(), 1);
+    }
+
+    #[test]
+    fn absorbing_empty_metrics_records_nothing() {
+        let mut r = Recorder::new();
+        r.absorb_metrics(&bass_obs::Metrics::new(), SimTime::from_secs(1));
+        assert!(r.series_names().is_empty());
+        assert!(r.sample_names().is_empty());
     }
 
     #[test]

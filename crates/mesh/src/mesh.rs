@@ -89,6 +89,11 @@ pub struct Mesh {
     link_used_bps: Vec<f64>,
     /// Allocated bps currently leaving each node (refreshed per step).
     egress_used_bps: BTreeMap<NodeId, f64>,
+    /// Per-link effective capacities (Mbps) last reported to a journal;
+    /// `None` until the first (silent, baseline-setting) emission pass.
+    obs_cap_snapshot: Option<Vec<f64>>,
+    /// (flows, demand Mbps, allocated Mbps) last reported to a journal.
+    obs_flow_sig: Option<(u32, f64, f64)>,
 }
 
 impl Mesh {
@@ -120,6 +125,8 @@ impl Mesh {
             allocation: FlowAllocation::default(),
             link_used_bps: vec![0.0; link_count],
             egress_used_bps: BTreeMap::new(),
+            obs_cap_snapshot: None,
+            obs_flow_sig: None,
         })
     }
 
@@ -465,6 +472,90 @@ impl Mesh {
         }
         let _ = link_constraints;
         self.allocation = allocation;
+    }
+
+    /// [`advance`](Self::advance) that additionally reports to a journal:
+    /// per-link [`LinkCapacityChanged`](bass_obs::Event::LinkCapacityChanged)
+    /// events (cause `"trace"`, ≥1% relative moves) and a
+    /// [`FlowRateRecomputed`](bass_obs::Event::FlowRateRecomputed) event
+    /// whenever the allocation picture materially changed.
+    pub fn advance_observed(&mut self, dt: SimDuration, journal: Option<&mut bass_obs::Journal>) {
+        self.advance(dt);
+        if let Some(j) = journal {
+            self.emit_capacity_changes(j, "trace");
+            self.emit_flow_rate_recompute(j);
+        }
+    }
+
+    /// Diffs the current effective link capacities against the last
+    /// journal-reported snapshot and emits a
+    /// [`LinkCapacityChanged`](bass_obs::Event::LinkCapacityChanged)
+    /// event for every link that moved by more than 1% (relative).
+    ///
+    /// The first call only establishes the baseline and emits nothing.
+    /// `cause` labels what moved the capacity — `"trace"` for vagary
+    /// playback during [`advance_observed`](Self::advance_observed),
+    /// `"scenario"` when the emulator applies a scripted restriction.
+    pub fn emit_capacity_changes(&mut self, journal: &mut bass_obs::Journal, cause: &str) {
+        let caps: Vec<f64> = (0..self.topo.link_count())
+            .map(|i| self.link_caps[i].effective_at(self.now).as_mbps())
+            .collect();
+        match self.obs_cap_snapshot.as_mut() {
+            None => self.obs_cap_snapshot = Some(caps),
+            Some(prev) => {
+                for (lid, link) in self.topo.links() {
+                    let old = prev[lid.0];
+                    let new = caps[lid.0];
+                    if (new - old).abs() / old.abs().max(1e-9) > 0.01 {
+                        journal.record(bass_obs::Event::LinkCapacityChanged {
+                            t_s: self.now.as_secs_f64(),
+                            a: link.a.0,
+                            b: link.b.0,
+                            old_mbps: old,
+                            new_mbps: new,
+                            cause: cause.to_string(),
+                        });
+                    }
+                }
+                *prev = caps;
+            }
+        }
+    }
+
+    /// Emits a [`FlowRateRecomputed`](bass_obs::Event::FlowRateRecomputed)
+    /// event if the flow count changed or total demand/allocation moved
+    /// by more than 0.1% since the last reported picture.
+    fn emit_flow_rate_recompute(&mut self, journal: &mut bass_obs::Journal) {
+        fn moved(old: f64, new: f64) -> bool {
+            (new - old).abs() / old.abs().max(1e-9) > 0.001
+        }
+        let flows = self.flows.len() as u32;
+        let demand_mbps: f64 = self.flows.values().map(|f| f.spec.demand.as_mbps()).sum();
+        let allocated_mbps: f64 = self
+            .flows
+            .keys()
+            .map(|id| self.allocation.rate(*id).as_mbps())
+            .sum();
+        let changed = match self.obs_flow_sig {
+            None => flows > 0,
+            Some((f, d, a)) => f != flows || moved(d, demand_mbps) || moved(a, allocated_mbps),
+        };
+        if changed {
+            let saturated_links = (0..self.topo.link_count())
+                .filter(|&i| {
+                    let cap = self.link_caps[i].effective_at(self.now).as_bps();
+                    cap > 0.0 && self.link_used_bps[i] >= 0.999 * cap
+                })
+                .count() as u32;
+            journal.record(bass_obs::Event::FlowRateRecomputed {
+                t_s: self.now.as_secs_f64(),
+                flows,
+                demand_mbps,
+                allocated_mbps,
+                saturated_links,
+            });
+            self.obs_flow_sig = Some((flows, demand_mbps, allocated_mbps));
+        }
     }
 
     // ----- queries ----------------------------------------------------------
@@ -937,5 +1028,40 @@ mod tests {
         assert!(mesh.flow_backlog(f).unwrap().as_bytes() > 0);
         mesh.reset_flow_queue(f).unwrap();
         assert_eq!(mesh.flow_backlog(f).unwrap(), DataSize::ZERO);
+    }
+
+    #[test]
+    fn observed_advance_reports_rate_and_capacity_changes() {
+        let mut mesh = three_node_lan();
+        let mut journal = bass_obs::Journal::new();
+        // Quiet mesh: baseline pass emits nothing.
+        mesh.advance_observed(SimDuration::from_millis(100), Some(&mut journal));
+        assert!(journal.is_empty());
+        // A new flow changes the allocation picture exactly once.
+        mesh.add_flow(NodeId(0), NodeId(1), mbps(40.0)).unwrap();
+        mesh.advance_observed(SimDuration::from_millis(100), Some(&mut journal));
+        mesh.advance_observed(SimDuration::from_millis(100), Some(&mut journal));
+        assert_eq!(journal.count("flow_rate_recomputed"), 1);
+        match journal.events().next().unwrap() {
+            bass_obs::Event::FlowRateRecomputed { flows, allocated_mbps, .. } => {
+                assert_eq!(*flows, 1);
+                assert!((allocated_mbps - 40.0).abs() < 1e-6);
+            }
+            other => panic!("expected FlowRateRecomputed, got {other:?}"),
+        }
+        // A capacity cut is reported with old/new values and the cause.
+        mesh.set_link_cap(NodeId(0), NodeId(1), Some(mbps(10.0))).unwrap();
+        mesh.emit_capacity_changes(&mut journal, "scenario");
+        assert_eq!(journal.count("link_capacity_changed"), 1);
+        match journal.events().last().unwrap() {
+            bass_obs::Event::LinkCapacityChanged { old_mbps, new_mbps, cause, .. } => {
+                assert!((old_mbps - 100.0).abs() < 1e-6);
+                assert!((new_mbps - 10.0).abs() < 1e-6);
+                assert_eq!(cause, "scenario");
+            }
+            other => panic!("expected LinkCapacityChanged, got {other:?}"),
+        }
+        // The None sink stays a pure advance.
+        mesh.advance_observed(SimDuration::from_millis(100), None);
     }
 }

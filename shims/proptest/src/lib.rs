@@ -1,0 +1,156 @@
+//! Offline stand-in for `proptest` implementing the subset this
+//! workspace's property tests use: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, range and tuple
+//! strategies, [`any`], `prop_map`, [`collection::vec`], and the
+//! `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! corpus: cases are generated from a deterministic per-test RNG (seeded
+//! from the test name), so failures reproduce bit-for-bit across runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s with lengths drawn from `len` and
+    /// elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec()`](fn@vec).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration (case count only).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many generated cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A strategy producing arbitrary values of `T`; see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full-range strategy for `T`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl strategy::Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl strategy::Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl strategy::Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> f64 {
+        // Uniform in [0, 1): well-behaved for arithmetic-heavy properties.
+        rng.next_unit()
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, ProptestConfig};
+}
+
+/// Asserts inside a property (plain `assert!` here: no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body
+/// runs once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
