@@ -5,6 +5,7 @@
 //! bassctl place    --manifest app.json --testbed mesh.json [--policy …] [--seed N] [--json]
 //! bassctl simulate --manifest app.json --testbed mesh.json [--policy …] [--duration SECS]
 //!                  [--no-migrations] [--seed N] [--json] [--journal events.jsonl]
+//!                  [--faults plan.json]
 //! bassctl recommend --manifest app.json --testbed mesh.json [--json]
 //! bassctl traces   --testbed mesh.json [--duration SECS] [--seed N]
 //! bassctl schema                       # print example input files
@@ -26,6 +27,7 @@ struct Args {
     seed: u64,
     json: bool,
     journal: Option<String>,
+    faults: Option<String>,
 }
 
 fn parse_policy(name: &str) -> Result<SchedulerPolicy, String> {
@@ -51,6 +53,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         seed: 42,
         json: false,
         journal: None,
+        faults: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or(format!("{name} requires a value"));
@@ -71,6 +74,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             "--no-migrations" => args.migrations = false,
             "--json" => args.json = true,
             "--journal" => args.journal = Some(value("--journal")?),
+            "--faults" => args.faults = Some(value("--faults")?),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -181,6 +185,7 @@ fn run() -> Result<(), String> {
                     migrations: args.migrations,
                     seed: args.seed,
                     journal: args.journal.clone().map(std::path::PathBuf::from),
+                    faults: args.faults.clone().map(std::path::PathBuf::from),
                 },
             )
             .map_err(|e| e.to_string())?;

@@ -26,6 +26,8 @@ pub enum CommandError {
     Env(EnvError),
     /// The journal sink could not be opened.
     Journal(std::io::Error),
+    /// The `--faults` plan could not be read or parsed.
+    Faults(String),
 }
 
 impl fmt::Display for CommandError {
@@ -36,6 +38,7 @@ impl fmt::Display for CommandError {
             CommandError::Schedule(e) => write!(f, "scheduling error: {e}"),
             CommandError::Env(e) => write!(f, "simulation error: {e}"),
             CommandError::Journal(e) => write!(f, "journal error: {e}"),
+            CommandError::Faults(e) => write!(f, "fault plan error: {e}"),
         }
     }
 }
@@ -48,6 +51,7 @@ impl Error for CommandError {
             CommandError::Schedule(e) => Some(e),
             CommandError::Env(e) => Some(e),
             CommandError::Journal(e) => Some(e),
+            CommandError::Faults(_) => None,
         }
     }
 }
@@ -150,6 +154,9 @@ pub struct SimulateOptions {
     /// When set, stream the run's structured event journal (see
     /// `docs/OBSERVABILITY.md`) to this path as JSON lines.
     pub journal: Option<std::path::PathBuf>,
+    /// When set, load a [`bass_faults::FaultPlan`] from this JSON file
+    /// and inject it into the run (see `docs/FAULTS.md`).
+    pub faults: Option<std::path::PathBuf>,
 }
 
 impl Default for SimulateOptions {
@@ -160,6 +167,7 @@ impl Default for SimulateOptions {
             migrations: true,
             seed: 42,
             journal: None,
+            faults: None,
         }
     }
 }
@@ -197,9 +205,19 @@ pub fn simulate(
     let dag = manifest.to_dag()?;
     let trace_len = SimDuration::from_secs(opts.duration_s + 60);
     let (mesh, cluster) = testbed.build(opts.seed, trace_len)?;
+    let faults = match &opts.faults {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CommandError::Faults(format!("{}: {e}", path.display())))?;
+            serde_json::from_str::<bass_faults::FaultPlan>(&text)
+                .map_err(|e| CommandError::Faults(format!("{}: {e}", path.display())))?
+        }
+        None => bass_faults::FaultPlan::new(),
+    };
     let cfg = SimEnvConfig {
         policy: opts.policy,
         migrations_enabled: opts.migrations,
+        faults,
         ..Default::default()
     };
     let mut env = SimEnv::new(mesh, cluster, dag, cfg);
@@ -393,6 +411,7 @@ mod tests {
                 migrations: true,
                 seed: 1,
                 journal: None,
+                faults: None,
             },
         )
         .unwrap();

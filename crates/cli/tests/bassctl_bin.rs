@@ -120,6 +120,100 @@ fn simulate_journal_writes_parseable_events() {
 }
 
 #[test]
+fn simulate_faults_crash_and_recover_end_to_end() {
+    let dir = temp_dir("faults");
+    let (app, mesh) = write_schema_files(&dir);
+
+    // Find a node that actually hosts a component, so the crash displaces
+    // real work instead of hitting an idle box.
+    let out = bassctl()
+        .args(["place", "--manifest"])
+        .arg(&app)
+        .arg("--testbed")
+        .arg(&mesh)
+        .arg("--json")
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let placed: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    let victim = placed["placement"]
+        .as_object()
+        .expect("placement map")
+        .iter()
+        .next()
+        .expect("at least one placement")
+        .1
+        .as_u64()
+        .expect("node id") as u32;
+
+    let plan = bass_faults::FaultPlan::new().with_seed(7).node_crash(
+        bass_mesh::NodeId(victim),
+        bass_util::time::SimTime::from_secs_f64(30.0),
+        bass_util::time::SimTime::from_secs_f64(90.0),
+    );
+    let plan_path = dir.join("plan.json");
+    std::fs::write(&plan_path, serde_json::to_string(&plan).expect("serializable"))
+        .expect("write plan");
+
+    let journal = dir.join("events.jsonl");
+    let out = bassctl()
+        .args(["simulate", "--manifest"])
+        .arg(&app)
+        .arg("--testbed")
+        .arg(&mesh)
+        .args(["--duration", "120", "--json", "--faults"])
+        .arg(&plan_path)
+        .arg("--journal")
+        .arg(&journal)
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let parsed: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(parsed["worst_goodput_fraction"].as_f64().expect("number") > 0.0);
+
+    let text = std::fs::read_to_string(&journal).expect("journal file written");
+    let events = bass_obs::parse_jsonl(&text).expect("journal parses back");
+    let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count();
+    // Both halves of the fault fired and were narrated.
+    assert_eq!(count("fault_injected"), 2);
+    let faults: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            bass_obs::Event::FaultInjected { kind, target, detail, .. } => {
+                Some((kind.clone(), target.clone(), detail.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(faults[0].0, "node_crash");
+    assert_eq!(faults[0].1, format!("node:{victim}"));
+    assert!(faults[0].2.contains("evicted"), "crash hit a populated node: {}", faults[0].2);
+    assert_eq!(faults[1].0, "node_recover");
+    // The displaced component was eventually re-placed (policy
+    // "fault-recovery" placements come on top of the initial five).
+    assert!(count("placement_decided") >= 6, "got {}", count("placement_decided"));
+    assert_eq!(count("tick_completed"), 1200);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_rejects_unreadable_fault_plan() {
+    let dir = temp_dir("badfaults");
+    let (app, mesh) = write_schema_files(&dir);
+    let out = bassctl()
+        .args(["simulate", "--manifest"])
+        .arg(&app)
+        .arg("--testbed")
+        .arg(&mesh)
+        .args(["--faults", "/nonexistent/plan.json"])
+        .output()
+        .expect("bassctl runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fault plan error"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown command.
     let out = bassctl().arg("frobnicate").output().expect("runs");

@@ -110,6 +110,16 @@ impl BassController {
         self.cfg
     }
 
+    /// Resets runtime state as if the controller process restarted: the
+    /// cooldown clock and escalation counter are lost (any in-flight
+    /// migration plans die with the old process; fault injection uses
+    /// this for `ControllerRestart`). The configuration survives — it is
+    /// redeployed with the process.
+    pub fn reset(&mut self) {
+        self.last_migration = None;
+        self.full_probes_triggered = 0;
+    }
+
     /// When the last migration round was planned, if ever.
     pub fn last_migration_at(&self) -> Option<SimTime> {
         self.last_migration
@@ -414,6 +424,33 @@ mod tests {
         assert_eq!(o.unplaceable.len(), 1);
         // No migration was planned → cooldown clock not started.
         assert!(ctl.last_migration_at().is_none());
+    }
+
+    #[test]
+    fn reset_clears_runtime_state_but_keeps_config() {
+        let mut w = world();
+        let cfg = ControllerConfig {
+            cooldown: SimDuration::from_secs(300),
+            ..Default::default()
+        };
+        let mut ctl = BassController::new(cfg);
+        w.mesh.set_link_cap(NodeId(0), NodeId(1), Some(mbps(2.0))).unwrap();
+        w.mesh.advance(SimDuration::from_secs(30));
+        measure(&mut w);
+        let o1 = ctl.tick(&w.mesh, &mut w.netmon, &w.goodput, &w.dag, &w.cluster, &Default::default());
+        assert_eq!(o1.plans.len(), 1);
+        assert!(ctl.last_migration_at().is_some());
+        assert_eq!(ctl.full_probes_triggered(), 1);
+        ctl.reset();
+        assert!(ctl.last_migration_at().is_none());
+        assert_eq!(ctl.full_probes_triggered(), 0);
+        assert_eq!(ctl.config(), cfg);
+        // With the cooldown clock lost, the restarted controller re-plans
+        // immediately instead of waiting out the 300 s window.
+        w.mesh.advance(SimDuration::from_secs(30));
+        measure(&mut w);
+        let o2 = ctl.tick(&w.mesh, &mut w.netmon, &w.goodput, &w.dag, &w.cluster, &Default::default());
+        assert_eq!(o2.plans.len(), 1);
     }
 
     #[test]

@@ -72,10 +72,14 @@ pub fn pick_target(
     }
 
     // Candidate order: dependency count descending, then availability
-    // rank, excluding the current node.
+    // rank, excluding the current node and any down node.
     let ranked = rank_nodes(cluster, mesh);
     let rank_of = |n: NodeId| ranked.iter().position(|&r| r == n).unwrap_or(usize::MAX);
-    let mut candidates: Vec<NodeId> = ranked.iter().copied().filter(|&n| n != current).collect();
+    let mut candidates: Vec<NodeId> = ranked
+        .iter()
+        .copied()
+        .filter(|&n| n != current && mesh.node_is_up(n))
+        .collect();
     candidates.sort_by(|&a, &b| {
         dep_count
             .get(&b)
@@ -136,7 +140,7 @@ pub fn pick_target_best_effort(
     let ranked = rank_nodes(cluster, mesh);
     let best = ranked
         .into_iter()
-        .filter(|&n| n != current)
+        .filter(|&n| n != current && mesh.node_is_up(n))
         .filter(|&n| cluster.fits(n, comp.resources).unwrap_or(false))
         .map(|n| (n, bandwidth_score(n, &deps, cluster, mesh)))
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
@@ -207,7 +211,7 @@ pub fn select_target(
         let ranked = rank_nodes(cluster, mesh);
         let best = ranked
             .into_iter()
-            .filter(|&n| n != current)
+            .filter(|&n| n != current && mesh.node_is_up(n))
             .filter(|&n| cluster.fits(n, comp.resources).unwrap_or(false))
             .map(|n| (n, bandwidth_score(n, &deps, cluster, mesh)))
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
@@ -437,6 +441,38 @@ mod tests {
         cluster.relocate(label, NodeId(0)).unwrap();
         let target = pick_target(label, &dag, &cluster, &mesh).unwrap();
         assert_eq!(target, NodeId(2));
+    }
+
+    #[test]
+    fn down_nodes_are_never_chosen() {
+        // Pair a→b: a on n0, b on n2; n2 is CPU-full, so the empty n1 is
+        // the only viable target for a.
+        let mut dag = AppDag::new("pair");
+        dag.add_component(Component::new(ComponentId(1), "a", ResourceReq::cores_mb(1, 128)))
+            .unwrap();
+        dag.add_component(Component::new(ComponentId(2), "b", ResourceReq::default()))
+            .unwrap();
+        dag.add_edge(ComponentId(1), ComponentId(2), mbps(5.0)).unwrap();
+        let mut mesh = Mesh::with_uniform_capacity(Topology::full_mesh(3), mbps(100.0)).unwrap();
+        let mut cluster =
+            Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 4, 4096))).unwrap();
+        cluster.place(ComponentId(1), ResourceReq::cores_mb(1, 128), NodeId(0)).unwrap();
+        cluster.place(ComponentId(2), ResourceReq::default(), NodeId(2)).unwrap();
+        cluster.place(ComponentId(9), ResourceReq::cores_mb(4, 128), NodeId(2)).unwrap();
+        assert_eq!(
+            pick_target(ComponentId(1), &dag, &cluster, &mesh).unwrap(),
+            NodeId(1)
+        );
+        // n1 crashes: no candidate remains, in strict, best-effort, and
+        // degraded select_target selection alike.
+        mesh.set_node_up(NodeId(1), false).unwrap();
+        let err = Err(RescheduleError::NoFeasibleNode(ComponentId(1)));
+        assert_eq!(pick_target(ComponentId(1), &dag, &cluster, &mesh), err);
+        assert_eq!(pick_target_best_effort(ComponentId(1), &dag, &cluster, &mesh), err);
+        assert_eq!(
+            select_target(ComponentId(1), &dag, &cluster, &mesh, 0.1, true, true),
+            err
+        );
     }
 
     #[test]

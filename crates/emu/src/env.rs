@@ -7,6 +7,7 @@ use bass_core::heuristics::ComponentOrdering;
 use bass_core::placement::pack_ordering;
 use bass_core::scheduler::{BassScheduler, ScheduleError, SchedulerPolicy};
 use bass_core::{BassController, ControllerConfig, MigrationPlan};
+use bass_faults::{Fault, FaultPlan};
 use bass_mesh::{FlowId, Mesh, MeshError, NodeId};
 use bass_netmon::{GoodputMonitor, NetMonitor, NetMonitorConfig, OnlineProfiler};
 use bass_util::time::{SimDuration, SimTime};
@@ -48,6 +49,11 @@ pub struct SimEnvConfig {
     /// orchestrator — the paper assumes BASS works with "any routing
     /// mechanism". `None` keeps static min-hop routes.
     pub adaptive_routing: Option<SimDuration>,
+    /// Deterministic fault schedule (crashes, flaps, probe loss, stale
+    /// traces, controller restarts). The default empty plan injects
+    /// nothing and leaves runs byte-identical to fault-free behaviour.
+    /// See the `bass-faults` crate and `docs/FAULTS.md`.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimEnvConfig {
@@ -62,6 +68,7 @@ impl Default for SimEnvConfig {
             pinned: BTreeSet::new(),
             stateful_state: None,
             adaptive_routing: None,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -158,6 +165,12 @@ pub struct SimEnv {
     deployed: bool,
     stats: EnvStats,
     journal: Option<bass_obs::Journal>,
+    /// Components evicted by a node crash, awaiting re-placement.
+    displaced: BTreeSet<ComponentId>,
+    /// Probe-loss episodes started so far — each gets its own forked RNG
+    /// stream off the fault plan's seed, so episode k draws identically
+    /// across replays regardless of what happened in between.
+    probe_loss_episodes: u64,
 }
 
 impl SimEnv {
@@ -182,12 +195,31 @@ impl SimEnv {
             deployed: false,
             stats: EnvStats::default(),
             journal: None,
+            displaced: BTreeSet::new(),
+            probe_loss_episodes: 0,
         }
     }
 
     /// Installs the network scenario script.
     pub fn set_scenario(&mut self, scenario: Scenario) {
         self.scenario = scenario;
+    }
+
+    /// Installs (or replaces) the fault-injection schedule. Equivalent to
+    /// setting [`SimEnvConfig::faults`] before construction.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.cfg.faults = plan;
+    }
+
+    /// The fault schedule, including its replay cursor.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.cfg.faults
+    }
+
+    /// Components currently evicted by a node crash and awaiting
+    /// re-placement.
+    pub fn displaced(&self) -> &BTreeSet<ComponentId> {
+        &self.displaced
     }
 
     /// Attaches a structured-event journal: from now on, every probe,
@@ -388,8 +420,16 @@ impl SimEnv {
     /// Panics if called before [`SimEnv::deploy`].
     pub fn step(&mut self) -> Result<(), EnvError> {
         assert!(self.deployed, "call deploy() before step()");
-        // 1. Scenario actions due now.
+        // 0. Injected faults due now, then re-placement of components a
+        // crash displaced (possible again once capacity recovers).
         let now = self.mesh.now();
+        let mut controller_restarted = false;
+        for fault in self.cfg.faults.due(now) {
+            controller_restarted |= self.apply_fault(fault)?;
+        }
+        self.replace_displaced()?;
+
+        // 1. Scenario actions due now.
         let pending_before = self.scenario.remaining();
         self.scenario.apply_due(&mut self.mesh, now)?;
         if pending_before != self.scenario.remaining() {
@@ -448,8 +488,9 @@ impl SimEnv {
             }
         }
 
-        // 5. Controller.
-        if self.cfg.migrations_enabled {
+        // 5. Controller. A restart injected this tick loses the tick: the
+        // new controller process comes up after the decision window.
+        if self.cfg.migrations_enabled && !controller_restarted {
             let outcome = self.controller.tick_observed(
                 &self.mesh,
                 &mut self.netmon,
@@ -507,6 +548,141 @@ impl SimEnv {
         Ok(())
     }
 
+    /// Applies one injected fault and journals it. Returns `true` when
+    /// the fault was a controller restart (the controller loses its tick).
+    fn apply_fault(&mut self, fault: Fault) -> Result<bool, EnvError> {
+        let mut controller_restarted = false;
+        let mut detail = String::new();
+        match fault {
+            Fault::NodeCrash { node } => {
+                self.mesh.set_node_up(node, false)?;
+                let victims: Vec<ComponentId> = self
+                    .cluster
+                    .placement()
+                    .into_iter()
+                    .filter(|&(_, n)| n == node)
+                    .map(|(c, _)| c)
+                    .collect();
+                detail = format!("evicted {} component(s)", victims.len());
+                for c in victims {
+                    let _ = self.cluster.evict(c);
+                    self.displaced.insert(c);
+                    self.rebind_edges_touching(c)?;
+                }
+            }
+            Fault::NodeRecover { node } => {
+                self.mesh.set_node_up(node, true)?;
+            }
+            Fault::LinkDown { a, b } => {
+                self.mesh.set_link_up(a, b, false)?;
+            }
+            Fault::LinkUp { a, b } => {
+                self.mesh.set_link_up(a, b, true)?;
+            }
+            Fault::ProbeLossStart { p } => {
+                // Fork a fresh stream per episode off the plan seed:
+                // episode k replays identically regardless of how many
+                // probes earlier episodes consumed.
+                let mut root = bass_util::rng::SimRng::seed_from_u64(self.cfg.faults.seed());
+                let rng = root.fork(1_000 + self.probe_loss_episodes);
+                self.probe_loss_episodes += 1;
+                self.netmon.set_probe_loss(p, rng);
+                detail = format!("p={p}");
+            }
+            Fault::ProbeLossStop => {
+                self.netmon.clear_probe_loss();
+            }
+            Fault::StaleTraceStart { a, b } => {
+                self.mesh.freeze_link_trace(a, b)?;
+            }
+            Fault::StaleTraceStop { a, b } => {
+                self.mesh.unfreeze_link_trace(a, b)?;
+            }
+            Fault::ControllerRestart => {
+                self.controller.reset();
+                controller_restarted = true;
+            }
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.record(bass_obs::Event::FaultInjected {
+                t_s: self.mesh.now().as_secs_f64(),
+                kind: fault.kind().to_string(),
+                target: fault.target(),
+                detail,
+            });
+        }
+        Ok(controller_restarted)
+    }
+
+    /// Tries to re-place every displaced component on the best-ranked up
+    /// node with room; newly placed components pay a restart and have
+    /// their edges rebound.
+    fn replace_displaced(&mut self) -> Result<(), EnvError> {
+        if self.displaced.is_empty() {
+            return Ok(());
+        }
+        let candidates: Vec<ComponentId> = self.displaced.iter().copied().collect();
+        let mut placed_any = false;
+        for c in candidates {
+            let Some(comp) = self.dag.component(c) else {
+                self.displaced.remove(&c);
+                continue;
+            };
+            let resources = comp.resources;
+            let target = bass_core::ranking::rank_nodes(&self.cluster, &self.mesh)
+                .into_iter()
+                .filter(|&n| self.mesh.node_is_up(n))
+                .find(|&n| self.cluster.fits(n, resources).unwrap_or(false));
+            let Some(node) = target else {
+                continue; // still nowhere to go; retry next tick
+            };
+            self.cluster
+                .place(c, resources, node)
+                .map_err(|e| EnvError::Schedule(ScheduleError::Baseline(e)))?;
+            self.displaced.remove(&c);
+            // The component restarts on its new node.
+            self.restarts.insert(c, (self.mesh.now(), self.cfg.restart));
+            self.rebind_edges_touching(c)?;
+            placed_any = true;
+            if let Some(j) = self.journal.as_mut() {
+                j.record(bass_obs::Event::PlacementDecided {
+                    t_s: self.mesh.now().as_secs_f64(),
+                    component: c.0,
+                    node: node.0,
+                    policy: "fault-recovery".to_string(),
+                    crossing_mbps: 0.0,
+                });
+            }
+        }
+        if placed_any {
+            if let Some(j) = self.journal.as_mut() {
+                // Recompute the crossing bandwidth of the repaired
+                // placement into the last event's metric registry.
+                let crossing =
+                    bass_core::placement::crossing_bandwidth(&self.dag, &self.cluster.placement());
+                j.metrics_mut()
+                    .set_gauge("fault_recovery.crossing_mbps", crossing.as_mbps());
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebinds every DAG edge touching `component` to the current
+    /// placement (tears down flows whose endpoint is unplaced).
+    fn rebind_edges_touching(&mut self, component: ComponentId) -> Result<(), EnvError> {
+        let touching: Vec<(ComponentId, ComponentId)> = self
+            .dag
+            .edges()
+            .iter()
+            .filter(|e| e.from == component || e.to == component)
+            .map(|e| (e.from, e.to))
+            .collect();
+        for (f, t) in touching {
+            self.bind_edge(f, t)?;
+        }
+        Ok(())
+    }
+
     fn apply_migration(&mut self, plan: MigrationPlan) -> Result<(), EnvError> {
         if self.cluster.relocate(plan.component, plan.to).is_err() {
             self.stats.unplaceable += 1;
@@ -541,18 +717,7 @@ impl SimEnv {
             from: plan.from,
             to: plan.to,
         });
-        // Rebind every edge touching the migrated component.
-        let touching: Vec<(ComponentId, ComponentId)> = self
-            .dag
-            .edges()
-            .iter()
-            .filter(|e| e.from == plan.component || e.to == plan.component)
-            .map(|e| (e.from, e.to))
-            .collect();
-        for (f, t) in touching {
-            self.bind_edge(f, t)?;
-        }
-        Ok(())
+        self.rebind_edges_touching(plan.component)
     }
 
     // ----- queries the workload models use ---------------------------------
@@ -994,6 +1159,93 @@ mod tests {
     }
 
     #[test]
+    fn node_crash_evicts_and_recovery_replaces() {
+        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        env.attach_journal(bass_obs::Journal::new());
+        env.deploy(&[]).unwrap();
+        let dag = env.dag().clone();
+        let id = |n: &str| dag.component_by_name(n).unwrap().id;
+        let placement = env.placement();
+        let victim_node = placement[&id("object-detector")];
+        let victims: Vec<ComponentId> = placement
+            .iter()
+            .filter(|&(_, &n)| n == victim_node)
+            .map(|(&c, _)| c)
+            .collect();
+        env.set_fault_plan(FaultPlan::new().node_crash(
+            victim_node,
+            SimTime::from_secs(10),
+            SimTime::from_secs(40),
+        ));
+        // While the node is down the victims are either displaced or
+        // re-placed on surviving nodes — never on the down node.
+        env.run_for(SimDuration::from_secs(20), |e| {
+            for (c, n) in e.placement() {
+                assert!(e.mesh().node_is_up(n), "{c} placed on down node {n}");
+            }
+        })
+        .unwrap();
+        assert!(!env.mesh().node_is_up(victim_node));
+        for &c in &victims {
+            let on_down = env.placement().get(&c) == Some(&victim_node);
+            assert!(!on_down, "{c} still on crashed node");
+        }
+        // After recovery everything is placed somewhere and heals.
+        env.run_for(SimDuration::from_secs(60), |_| {}).unwrap();
+        assert!(env.mesh().node_is_up(victim_node));
+        assert!(env.displaced().is_empty(), "all components re-placed");
+        assert_eq!(env.placement().len(), 5);
+        env.cluster().check_invariants().unwrap();
+        let journal = env.journal().unwrap();
+        assert_eq!(journal.count("fault_injected"), 2);
+        let kinds: Vec<String> = journal
+            .events_of_kind("fault_injected")
+            .map(|e| match e {
+                bass_obs::Event::FaultInjected { kind, .. } => kind.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kinds, ["node_crash", "node_recover"]);
+        // Every eviction-driven re-placement was journalled.
+        assert!(journal
+            .events_of_kind("placement_decided")
+            .any(|e| matches!(e, bass_obs::Event::PlacementDecided { policy, .. } if policy == "fault-recovery")));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_none() {
+        let run = |with_empty_plan: bool| {
+            let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+            env.attach_journal(bass_obs::Journal::new());
+            if with_empty_plan {
+                env.set_fault_plan(FaultPlan::new().with_seed(99));
+            }
+            env.deploy(&[]).unwrap();
+            env.run_for(SimDuration::from_secs(30), |_| {}).unwrap();
+            env.take_journal().unwrap().export_jsonl()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn controller_restart_loses_the_tick_and_the_cooldown() {
+        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        env.attach_journal(bass_obs::Journal::new());
+        env.deploy(&[]).unwrap();
+        env.set_fault_plan(FaultPlan::new().controller_restart(SimTime::from_secs(10)));
+        env.run_for(SimDuration::from_secs(20), |_| {}).unwrap();
+        let journal = env.journal().unwrap();
+        assert_eq!(journal.count("fault_injected"), 1);
+        match journal.events_of_kind("fault_injected").next().unwrap() {
+            bass_obs::Event::FaultInjected { kind, target, .. } => {
+                assert_eq!(kind, "controller_restart");
+                assert_eq!(target, "controller");
+            }
+            _ => unreachable!(),
+        };
+    }
+
+    #[test]
     #[should_panic(expected = "deploy")]
     fn step_before_deploy_panics() {
         let mut env = camera_env(SchedulerPolicy::LongestPath);
@@ -1063,5 +1315,42 @@ mod tests {
             rec.series("obs.event.migration_target_chosen").len(),
             1
         );
+    }
+
+    /// Contract: `SimEnv` never resets an attached journal. Counters
+    /// accumulate across every `deploy` the journal observes — including
+    /// a *failed* re-deploy, whose startup probe is charged before the
+    /// scheduler rejects the already-placed components. Callers wanting
+    /// per-run counters must attach a fresh `Journal` per run.
+    #[test]
+    fn journal_counters_accumulate_across_deploys() {
+        let mut env = camera_env(SchedulerPolicy::LongestPath);
+        env.attach_journal(bass_obs::Journal::new());
+        env.deploy(&[]).unwrap();
+        {
+            let journal = env.journal().unwrap();
+            assert_eq!(journal.count("probe_completed"), 1);
+            assert_eq!(journal.count("placement_decided"), 5);
+        }
+
+        // Re-deploying on the same env fails (components are already
+        // placed) but still runs — and journals — the startup probe.
+        assert!(env.deploy(&[]).is_err());
+        {
+            let journal = env.journal().unwrap();
+            assert_eq!(journal.count("probe_completed"), 2);
+            assert_eq!(journal.count("placement_decided"), 5);
+        }
+
+        // Moving the journal to a fresh env keeps accumulating: nothing
+        // in deploy() zeroes the counters or drops recorded events.
+        let journal = env.take_journal().unwrap();
+        let mut env2 = camera_env(SchedulerPolicy::LongestPath);
+        env2.attach_journal(journal);
+        env2.deploy(&[]).unwrap();
+        let journal = env2.journal().unwrap();
+        assert_eq!(journal.count("probe_completed"), 3);
+        assert_eq!(journal.count("placement_decided"), 10);
+        assert_eq!(journal.total_recorded(), journal.len() as u64);
     }
 }

@@ -8,7 +8,7 @@ use crate::topology::{LinkId, NodeId, Topology};
 use bass_trace::TraceBundle;
 use bass_util::time::{SimDuration, SimTime};
 use bass_util::units::{Bandwidth, DataSize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
@@ -52,6 +52,11 @@ struct FlowState {
     /// Nodes whose egress the flow consumes (every path node except dst).
     egress: Vec<NodeId>,
     queue: FlowQueue,
+    /// False while no usable route exists (endpoint down or the mesh
+    /// partitioned by link faults): the flow gets zero allocation until
+    /// connectivity returns and [`Mesh::recompute_routes_and_flows`]
+    /// restores its path.
+    routable: bool,
 }
 
 /// A simulated wireless mesh carrying fluid flows.
@@ -94,6 +99,17 @@ pub struct Mesh {
     obs_cap_snapshot: Option<Vec<f64>>,
     /// (flows, demand Mbps, allocated Mbps) last reported to a journal.
     obs_flow_sig: Option<(u32, f64, f64)>,
+    /// Nodes currently crashed (fault injection): all incident links are
+    /// unusable and the node's loopback traffic is dead.
+    down_nodes: BTreeSet<NodeId>,
+    /// Links currently down (fault injection), independent of node state.
+    down_links: BTreeSet<LinkId>,
+    /// Links whose trace feed is frozen at a past instant (fault
+    /// injection): capacity reads use the frozen time, not `now`.
+    trace_freeze: BTreeMap<LinkId, SimTime>,
+    /// Per-link weights of the last `use_weighted_routing` call, kept so
+    /// fault-driven route recomputations stay quality-aware.
+    last_weights: Option<Vec<f64>>,
 }
 
 impl Mesh {
@@ -127,6 +143,10 @@ impl Mesh {
             egress_used_bps: BTreeMap::new(),
             obs_cap_snapshot: None,
             obs_flow_sig: None,
+            down_nodes: BTreeSet::new(),
+            down_links: BTreeSet::new(),
+            trace_freeze: BTreeMap::new(),
+            last_weights: None,
         })
     }
 
@@ -196,30 +216,190 @@ impl Mesh {
     /// # Panics
     ///
     /// Panics if a weight is negative or non-finite.
-    pub fn use_weighted_routing(&mut self, weight_of: impl FnMut(LinkId) -> f64) {
-        self.routes = RoutingTable::compute_weighted(&self.topo, weight_of);
-        // Re-route existing flows. Connectivity cannot change (weights
-        // only reorder paths), so the expects are safe.
+    pub fn use_weighted_routing(&mut self, mut weight_of: impl FnMut(LinkId) -> f64) {
+        let weights: Vec<f64> = (0..self.topo.link_count())
+            .map(|i| weight_of(LinkId(i)))
+            .collect();
+        self.last_weights = Some(weights);
+        self.recompute_routes_and_flows();
+        self.reallocate();
+    }
+
+    // ----- fault state ------------------------------------------------------
+
+    /// Marks a node up or down. A down node's links all become unusable:
+    /// routes avoid them, its flows lose their allocation, and capacity
+    /// queries report zero. Routes and flow paths are recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownNode`] if the node does not exist.
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) -> Result<(), MeshError> {
+        if !self.topo.contains_node(node) {
+            return Err(MeshError::UnknownNode(node));
+        }
+        let changed = if up {
+            self.down_nodes.remove(&node)
+        } else {
+            self.down_nodes.insert(node)
+        };
+        if changed {
+            self.recompute_routes_and_flows();
+            self.reallocate();
+        }
+        Ok(())
+    }
+
+    /// Marks the link between `a` and `b` up or down, independent of the
+    /// endpoints' node state. Routes and flow paths are recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownLink`] if no such link exists.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) -> Result<(), MeshError> {
+        let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
+        let changed = if up {
+            self.down_links.remove(&lid)
+        } else {
+            self.down_links.insert(lid)
+        };
+        if changed {
+            self.recompute_routes_and_flows();
+            self.reallocate();
+        }
+        Ok(())
+    }
+
+    /// True when the node exists and is not crashed.
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.topo.contains_node(node) && !self.down_nodes.contains(&node)
+    }
+
+    /// True when the link exists, is not down, and neither endpoint is
+    /// crashed.
+    pub fn link_is_up(&self, a: NodeId, b: NodeId) -> bool {
+        match self.topo.find_link(a, b) {
+            Some(lid) => self.usable(lid),
+            None => false,
+        }
+    }
+
+    /// Freezes the link's trace feed at the current time: until unfrozen,
+    /// capacity reads replay the instant of the freeze (a stale
+    /// telemetry feed). Up/down state still applies on top.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownLink`] if no such link exists.
+    pub fn freeze_link_trace(&mut self, a: NodeId, b: NodeId) -> Result<(), MeshError> {
+        let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
+        self.trace_freeze.entry(lid).or_insert(self.now);
+        self.reallocate();
+        Ok(())
+    }
+
+    /// Reverses [`freeze_link_trace`](Self::freeze_link_trace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownLink`] if no such link exists.
+    pub fn unfreeze_link_trace(&mut self, a: NodeId, b: NodeId) -> Result<(), MeshError> {
+        let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
+        self.trace_freeze.remove(&lid);
+        self.reallocate();
+        Ok(())
+    }
+
+    /// The raw effective capacity of the link between `a` and `b` — the
+    /// per-link ceiling the max-min allocator enforces (zero when the
+    /// link or an endpoint is down; frozen-in-time when the trace feed
+    /// is stale). Unlike [`link_capacity`](Self::link_capacity) no
+    /// egress caps are folded in, so `link_usage ≤ link_effective_capacity`
+    /// is an invariant of every allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownLink`] if no such link exists.
+    pub fn link_effective_capacity(&self, a: NodeId, b: NodeId) -> Result<Bandwidth, MeshError> {
+        let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
+        Ok(self.effective_link_capacity(lid))
+    }
+
+    /// True when the link and both its endpoints are up.
+    fn usable(&self, lid: LinkId) -> bool {
+        if self.down_links.contains(&lid) {
+            return false;
+        }
+        let link = self.topo.link(lid);
+        !self.down_nodes.contains(&link.a) && !self.down_nodes.contains(&link.b)
+    }
+
+    /// The capacity the allocator grants the link right now: zero when
+    /// unusable, otherwise the source's value at `now` (or at the freeze
+    /// instant for stale-trace links), with any `tc` cap applied.
+    fn effective_link_capacity(&self, lid: LinkId) -> Bandwidth {
+        if !self.usable(lid) {
+            return Bandwidth::ZERO;
+        }
+        let at = self.trace_freeze.get(&lid).copied().unwrap_or(self.now);
+        self.link_caps[lid.0].effective_at(at)
+    }
+
+    /// Rebuilds the routing table honoring down links/nodes (weighted
+    /// when weighted routing is active) and tolerantly re-routes every
+    /// flow: flows whose route vanished are parked as unroutable (zero
+    /// allocation, queues preserved) and restored when a later
+    /// recomputation finds a path again.
+    fn recompute_routes_and_flows(&mut self) {
+        let down_links = self.down_links.clone();
+        let down_nodes = self.down_nodes.clone();
+        let usable = |topo: &Topology, lid: LinkId| {
+            if down_links.contains(&lid) {
+                return false;
+            }
+            let link = topo.link(lid);
+            !down_nodes.contains(&link.a) && !down_nodes.contains(&link.b)
+        };
+        self.routes = match &self.last_weights {
+            Some(w) => {
+                let weights = w.clone();
+                RoutingTable::compute_weighted_filtered(
+                    &self.topo,
+                    |lid| weights[lid.0],
+                    |lid| usable(&self.topo, lid),
+                )
+            }
+            None => RoutingTable::compute_filtered(&self.topo, |lid| usable(&self.topo, lid)),
+        };
         let ids: Vec<FlowId> = self.flows.keys().copied().collect();
         for id in ids {
             let (src, dst) = {
                 let f = &self.flows[&id];
                 (f.spec.src, f.spec.dst)
             };
-            if src == dst {
-                continue;
-            }
-            let links = self
-                .routes
-                .path_links(&self.topo, src, dst)
-                .expect("weighted routing preserves connectivity");
-            let path = self.routes.path(src, dst).expect("path exists");
-            let egress = path[..path.len() - 1].to_vec();
+            let routed = if src == dst {
+                // Loopback dies with its node.
+                (!self.down_nodes.contains(&src)).then(|| (Vec::new(), Vec::new()))
+            } else {
+                self.routes.path_links(&self.topo, src, dst).map(|links| {
+                    let path = self.routes.path(src, dst).expect("path exists");
+                    (links, path[..path.len() - 1].to_vec())
+                })
+            };
             let f = self.flows.get_mut(&id).expect("flow exists");
-            f.links = links;
-            f.egress = egress;
+            match routed {
+                Some((links, egress)) => {
+                    f.links = links;
+                    f.egress = egress;
+                    f.routable = true;
+                }
+                None => {
+                    f.links.clear();
+                    f.egress.clear();
+                    f.routable = false;
+                }
+            }
         }
-        self.reallocate();
     }
 
     // ----- capacity control ------------------------------------------------
@@ -285,11 +465,15 @@ impl Mesh {
 
     /// Registers a flow from `src` to `dst` with the given demand.
     /// Loopback flows (`src == dst`) are allowed and are never
-    /// network-constrained.
+    /// network-constrained. When fault injection has severed every route
+    /// between the endpoints the flow is still registered — parked as
+    /// unroutable with zero allocation until connectivity returns
+    /// (disconnected *topologies* are rejected at [`Mesh::new`], so this
+    /// only happens under faults).
     ///
     /// # Errors
     ///
-    /// Returns [`MeshError::UnknownNode`] or [`MeshError::Unreachable`].
+    /// Returns [`MeshError::UnknownNode`] for unknown endpoints.
     pub fn add_flow(
         &mut self,
         src: NodeId,
@@ -301,16 +485,17 @@ impl Mesh {
                 return Err(MeshError::UnknownNode(n));
             }
         }
-        let (links, egress) = if src == dst {
-            (Vec::new(), Vec::new())
+        let routed = if src == dst {
+            (!self.down_nodes.contains(&src)).then(|| (Vec::new(), Vec::new()))
         } else {
-            let links = self
-                .routes
-                .path_links(&self.topo, src, dst)
-                .ok_or(MeshError::Unreachable(src, dst))?;
-            let path = self.routes.path(src, dst).expect("path exists");
-            let egress = path[..path.len() - 1].to_vec();
-            (links, egress)
+            self.routes.path_links(&self.topo, src, dst).map(|links| {
+                let path = self.routes.path(src, dst).expect("path exists");
+                (links, path[..path.len() - 1].to_vec())
+            })
+        };
+        let (links, egress, routable) = match routed {
+            Some((links, egress)) => (links, egress, true),
+            None => (Vec::new(), Vec::new(), false),
         };
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
@@ -321,6 +506,7 @@ impl Mesh {
                 links,
                 egress,
                 queue: FlowQueue::new(),
+                routable,
             },
         );
         Ok(id)
@@ -386,7 +572,7 @@ impl Mesh {
         // Per-link utilization for the queueing model.
         let utilization: Vec<f64> = (0..self.topo.link_count())
             .map(|i| {
-                let cap = self.link_caps[i].effective_at(self.now);
+                let cap = self.effective_link_capacity(LinkId(i));
                 if cap.is_zero() {
                     if self.link_used_bps[i] > 0.0 {
                         1.0
@@ -422,6 +608,10 @@ impl Mesh {
             .iter()
             .map(|id| {
                 let f = &self.flows[id];
+                if !f.routable {
+                    // No route: the flow transmits nothing at all.
+                    return Bandwidth::ZERO;
+                }
                 let drain = f.queue.backlog().rate_over(SimDuration::from_secs(1));
                 f.spec.demand + drain
             })
@@ -437,7 +627,7 @@ impl Mesh {
                 .map(|(i, _)| i)
                 .collect();
             constraints.push(Constraint {
-                capacity: self.link_caps[lid.0].effective_at(self.now),
+                capacity: self.effective_link_capacity(lid),
                 members,
             });
         }
@@ -498,7 +688,7 @@ impl Mesh {
     /// `"scenario"` when the emulator applies a scripted restriction.
     pub fn emit_capacity_changes(&mut self, journal: &mut bass_obs::Journal, cause: &str) {
         let caps: Vec<f64> = (0..self.topo.link_count())
-            .map(|i| self.link_caps[i].effective_at(self.now).as_mbps())
+            .map(|i| self.effective_link_capacity(LinkId(i)).as_mbps())
             .collect();
         match self.obs_cap_snapshot.as_mut() {
             None => self.obs_cap_snapshot = Some(caps),
@@ -543,7 +733,7 @@ impl Mesh {
         if changed {
             let saturated_links = (0..self.topo.link_count())
                 .filter(|&i| {
-                    let cap = self.link_caps[i].effective_at(self.now).as_bps();
+                    let cap = self.effective_link_capacity(LinkId(i)).as_bps();
                     cap > 0.0 && self.link_used_bps[i] >= 0.999 * cap
                 })
                 .count() as u32;
@@ -589,6 +779,11 @@ impl Mesh {
     /// Returns [`MeshError::UnknownFlow`] for unknown ids.
     pub fn flow_message_delay(&self, id: FlowId, size: DataSize) -> Result<SimDuration, MeshError> {
         let flow = self.flows.get(&id).ok_or(MeshError::UnknownFlow(id))?;
+        if !flow.routable {
+            // Severed by faults: nothing is delivered until a route
+            // returns, so report the dead-path cap.
+            return Ok(crate::queueing::MAX_DELAY);
+        }
         let hops = flow.links.len();
         if hops == 0 {
             // Loopback: pure local latency plus negligible copy time.
@@ -597,7 +792,7 @@ impl Mesh {
         let capacity = flow
             .links
             .iter()
-            .map(|l| self.link_caps[l.0].effective_at(self.now))
+            .map(|l| self.effective_link_capacity(*l))
             .fold(Bandwidth::from_bps(f64::INFINITY), Bandwidth::min);
         let allocated = self.allocation.rate(id);
         Ok(flow.queue.transfer_delay(size, capacity, allocated) + self.hop_latency.for_hops(hops))
@@ -625,7 +820,7 @@ impl Mesh {
     /// Returns [`MeshError::UnknownLink`] if no such link exists.
     pub fn link_capacity(&self, a: NodeId, b: NodeId) -> Result<Bandwidth, MeshError> {
         let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
-        let mut cap = self.link_caps[lid.0].effective_at(self.now);
+        let mut cap = self.effective_link_capacity(lid);
         for n in [a, b] {
             if let Some(&c) = self.egress_caps.get(&n) {
                 cap = cap.min(c);
@@ -653,8 +848,8 @@ impl Mesh {
     /// Returns [`MeshError::UnknownLink`] if no such link exists.
     pub fn link_available(&self, a: NodeId, b: NodeId) -> Result<Bandwidth, MeshError> {
         let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
-        let mut avail = self.link_caps[lid.0]
-            .effective_at(self.now)
+        let mut avail = self
+            .effective_link_capacity(lid)
             .saturating_sub(Bandwidth::from_bps(self.link_used_bps[lid.0]));
         for n in [a, b] {
             if let Some(&c) = self.egress_caps.get(&n) {
@@ -685,7 +880,7 @@ impl Mesh {
     /// Returns [`MeshError::UnknownLink`] if no such link exists.
     pub fn directed_link_capacity(&self, u: NodeId, v: NodeId) -> Result<Bandwidth, MeshError> {
         let lid = self.topo.find_link(u, v).ok_or(MeshError::UnknownLink(u, v))?;
-        let mut cap = self.link_caps[lid.0].effective_at(self.now);
+        let mut cap = self.effective_link_capacity(lid);
         if let Some(&c) = self.egress_caps.get(&u) {
             cap = cap.min(c);
         }
@@ -700,8 +895,8 @@ impl Mesh {
     /// Returns [`MeshError::UnknownLink`] if no such link exists.
     pub fn directed_link_available(&self, u: NodeId, v: NodeId) -> Result<Bandwidth, MeshError> {
         let lid = self.topo.find_link(u, v).ok_or(MeshError::UnknownLink(u, v))?;
-        let mut avail = self.link_caps[lid.0]
-            .effective_at(self.now)
+        let mut avail = self
+            .effective_link_capacity(lid)
             .saturating_sub(Bandwidth::from_bps(self.link_used_bps[lid.0]));
         if let Some(&c) = self.egress_caps.get(&u) {
             let used = self.egress_used_bps.get(&u).copied().unwrap_or(0.0);
@@ -769,7 +964,7 @@ impl Mesh {
             .topo
             .incident_links(node)
             .into_iter()
-            .map(|l| self.link_caps[l.0].effective_at(self.now))
+            .map(|l| self.effective_link_capacity(l))
             .sum())
     }
 }
@@ -1028,6 +1223,128 @@ mod tests {
         assert!(mesh.flow_backlog(f).unwrap().as_bytes() > 0);
         mesh.reset_flow_queue(f).unwrap();
         assert_eq!(mesh.flow_backlog(f).unwrap(), DataSize::ZERO);
+    }
+
+    #[test]
+    fn down_link_reroutes_and_recovers() {
+        // Triangle: flow 0→2 goes direct; link down forces the detour
+        // via 1; link up restores the direct path.
+        let mut mesh = three_node_lan();
+        let f = mesh.add_flow(NodeId(0), NodeId(2), mbps(10.0)).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        assert_eq!(mesh.path(NodeId(0), NodeId(2)).unwrap().len(), 2);
+        mesh.set_link_up(NodeId(0), NodeId(2), false).unwrap();
+        assert!(!mesh.link_is_up(NodeId(0), NodeId(2)));
+        assert_eq!(mesh.link_effective_capacity(NodeId(0), NodeId(2)).unwrap(), Bandwidth::ZERO);
+        mesh.advance(SimDuration::from_millis(100));
+        assert_eq!(
+            mesh.path(NodeId(0), NodeId(2)).unwrap(),
+            &[NodeId(0), NodeId(1), NodeId(2)]
+        );
+        approx(mesh.flow_goodput(f), 10.0);
+        mesh.set_link_up(NodeId(0), NodeId(2), true).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        assert_eq!(mesh.path(NodeId(0), NodeId(2)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn node_crash_parks_flows_until_recovery() {
+        let mut mesh = three_node_lan();
+        let f = mesh.add_flow(NodeId(0), NodeId(1), mbps(10.0)).unwrap();
+        mesh.set_node_up(NodeId(1), false).unwrap();
+        assert!(!mesh.node_is_up(NodeId(1)));
+        assert!(!mesh.link_is_up(NodeId(0), NodeId(1)));
+        mesh.advance(SimDuration::from_millis(100));
+        assert_eq!(mesh.flow_rate(f), Bandwidth::ZERO);
+        assert_eq!(mesh.flow_loss(f), 1.0);
+        assert!(matches!(
+            mesh.path(NodeId(0), NodeId(1)),
+            Err(MeshError::Unreachable(_, _))
+        ));
+        assert_eq!(
+            mesh.flow_message_delay(f, DataSize::from_kilobytes(1)).unwrap(),
+            crate::queueing::MAX_DELAY
+        );
+        // Flows added while the destination is down park as unroutable.
+        let g = mesh.add_flow(NodeId(2), NodeId(1), mbps(5.0)).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        assert_eq!(mesh.flow_rate(g), Bandwidth::ZERO);
+        // Recovery restores both.
+        mesh.set_node_up(NodeId(1), true).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_goodput(f), 10.0);
+        approx(mesh.flow_goodput(g), 5.0);
+    }
+
+    #[test]
+    fn crashed_node_contributes_no_capacity() {
+        let mut mesh = three_node_lan();
+        mesh.set_node_up(NodeId(2), false).unwrap();
+        approx(mesh.node_total_link_capacity(NodeId(2)).unwrap(), 0.0);
+        // Node 0 keeps only its link to node 1.
+        approx(mesh.node_total_link_capacity(NodeId(0)).unwrap(), 100.0);
+        approx(mesh.link_capacity(NodeId(0), NodeId(2)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn stale_trace_freezes_capacity_reads() {
+        let mut topo = Topology::new();
+        topo.add_node(NodeId(0)).unwrap();
+        topo.add_node(NodeId(1)).unwrap();
+        topo.add_link(NodeId(0), NodeId(1)).unwrap();
+        let trace: BandwidthTrace = StepScript::new("l", mbps(50.0))
+            .restrict(SimTime::from_secs(10), SimDuration::from_secs(20), mbps(5.0))
+            .compile(SimDuration::from_secs(60));
+        let mut mesh = Mesh::new(topo).unwrap();
+        mesh.set_link_source(NodeId(0), NodeId(1), CapacitySource::Trace(trace)).unwrap();
+        mesh.advance(SimDuration::from_secs(5)); // now=5s, cap 50
+        mesh.freeze_link_trace(NodeId(0), NodeId(1)).unwrap();
+        mesh.advance(SimDuration::from_secs(10)); // now=15s, real cap 5
+        approx(mesh.link_effective_capacity(NodeId(0), NodeId(1)).unwrap(), 50.0);
+        mesh.unfreeze_link_trace(NodeId(0), NodeId(1)).unwrap();
+        approx(mesh.link_effective_capacity(NodeId(0), NodeId(1)).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn weighted_routing_survives_partition_without_panicking() {
+        // Line 0-1-2 under weighted routing; downing 1 severs 0↔2
+        // entirely — the old implementation would have panicked here.
+        let mut topo = Topology::new();
+        for i in 0..3 {
+            topo.add_node(NodeId(i)).unwrap();
+        }
+        topo.add_link(NodeId(0), NodeId(1)).unwrap();
+        topo.add_link(NodeId(1), NodeId(2)).unwrap();
+        let mut mesh = Mesh::with_uniform_capacity(topo, mbps(100.0)).unwrap();
+        let f = mesh.add_flow(NodeId(0), NodeId(2), mbps(10.0)).unwrap();
+        mesh.use_weighted_routing(|_| 1.0);
+        mesh.set_node_up(NodeId(1), false).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        assert_eq!(mesh.flow_rate(f), Bandwidth::ZERO);
+        mesh.set_node_up(NodeId(1), true).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        approx(mesh.flow_goodput(f), 10.0);
+        // Weighted routing is still active after recovery.
+        assert_eq!(mesh.path(NodeId(0), NodeId(2)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn fault_state_error_paths() {
+        let mut mesh = three_node_lan();
+        assert!(matches!(
+            mesh.set_node_up(NodeId(9), false),
+            Err(MeshError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            mesh.set_link_up(NodeId(0), NodeId(9), false),
+            Err(MeshError::UnknownLink(_, _))
+        ));
+        assert!(matches!(
+            mesh.freeze_link_trace(NodeId(0), NodeId(9)),
+            Err(MeshError::UnknownLink(_, _))
+        ));
+        assert!(!mesh.node_is_up(NodeId(9)));
+        assert!(!mesh.link_is_up(NodeId(0), NodeId(9)));
     }
 
     #[test]

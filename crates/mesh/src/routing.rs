@@ -48,6 +48,19 @@ impl RoutingTable {
     /// reachable destination. Ties are broken toward lower node ids, so
     /// the table is deterministic.
     pub fn compute(topo: &Topology) -> Self {
+        Self::compute_filtered(topo, |_| true)
+    }
+
+    /// [`compute`](Self::compute) restricted to links for which `usable`
+    /// returns true — routes never traverse a filtered-out link. Used by
+    /// the mesh to route around faulted links and crashed nodes;
+    /// destinations that become unreachable simply have no entry.
+    pub fn compute_filtered(topo: &Topology, mut usable: impl FnMut(LinkId) -> bool) -> Self {
+        let pass: std::collections::BTreeSet<LinkId> = topo
+            .links()
+            .filter(|(lid, _)| usable(*lid))
+            .map(|(lid, _)| lid)
+            .collect();
         let mut paths = BTreeMap::new();
         for src in topo.nodes() {
             // BFS with parent pointers; neighbors() is sorted so the
@@ -58,6 +71,10 @@ impl RoutingTable {
             parent.insert(src, src);
             while let Some(n) = queue.pop_front() {
                 for nb in topo.neighbors(n) {
+                    let lid = topo.find_link(n, nb).expect("neighbor edge exists");
+                    if !pass.contains(&lid) {
+                        continue;
+                    }
                     if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(nb) {
                         e.insert(n);
                         queue.push_back(nb);
@@ -90,10 +107,26 @@ impl RoutingTable {
     /// Panics if a weight is negative or non-finite.
     pub fn compute_weighted(
         topo: &Topology,
+        weight_of: impl FnMut(LinkId) -> LinkWeight,
+    ) -> Self {
+        Self::compute_weighted_filtered(topo, weight_of, |_| true)
+    }
+
+    /// [`compute_weighted`](Self::compute_weighted) restricted to links
+    /// for which `usable` returns true; filtered-out links are never
+    /// traversed and their weights are not evaluated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a usable link's weight is negative or non-finite.
+    pub fn compute_weighted_filtered(
+        topo: &Topology,
         mut weight_of: impl FnMut(LinkId) -> LinkWeight,
+        mut usable: impl FnMut(LinkId) -> bool,
     ) -> Self {
         let weights: BTreeMap<LinkId, f64> = topo
             .links()
+            .filter(|(lid, _)| usable(*lid))
             .map(|(lid, _)| {
                 let w = weight_of(lid);
                 assert!(
@@ -124,7 +157,9 @@ impl RoutingTable {
                 done.insert(u);
                 for nb in topo.neighbors(u) {
                     let lid = topo.find_link(u, nb).expect("neighbor edge exists");
-                    let cand = du + weights[&lid];
+                    // Filtered-out links have no weight entry: skip them.
+                    let Some(&w) = weights.get(&lid) else { continue };
+                    let cand = du + w;
                     let better = match dist.get(&nb) {
                         None => true,
                         Some(&d) => cand < d || (cand == d && u < parent[&nb]),
@@ -312,6 +347,41 @@ mod tests {
     fn weighted_routing_rejects_negative_weights() {
         let topo = Topology::full_mesh(3);
         let _ = RoutingTable::compute_weighted(&topo, |_| -1.0);
+    }
+
+    #[test]
+    fn filtered_routing_avoids_down_links() {
+        // Triangle: with the direct 0–2 link filtered out, the route
+        // detours through 1; with both 0-* links gone, 0 is isolated.
+        let topo = Topology::full_mesh(3);
+        let direct = topo.find_link(NodeId(0), NodeId(2)).unwrap();
+        let rt = RoutingTable::compute_filtered(&topo, |lid| lid != direct);
+        assert_eq!(
+            rt.path(NodeId(0), NodeId(2)).unwrap(),
+            &[NodeId(0), NodeId(1), NodeId(2)]
+        );
+        let l01 = topo.find_link(NodeId(0), NodeId(1)).unwrap();
+        let isolated = RoutingTable::compute_filtered(&topo, |lid| lid != direct && lid != l01);
+        assert_eq!(isolated.path(NodeId(0), NodeId(2)), None);
+        assert_eq!(isolated.path(NodeId(0), NodeId(0)).unwrap(), &[NodeId(0)]);
+        assert!(isolated.path(NodeId(1), NodeId(2)).is_some());
+        assert!(!isolated.fully_connected(&topo));
+    }
+
+    #[test]
+    fn weighted_filtered_routing_skips_links_without_evaluating_weights() {
+        // The filtered link's weight closure would panic if evaluated.
+        let topo = Topology::full_mesh(3);
+        let direct = topo.find_link(NodeId(0), NodeId(2)).unwrap();
+        let rt = RoutingTable::compute_weighted_filtered(
+            &topo,
+            |lid| {
+                assert_ne!(lid, direct, "filtered link must not be weighed");
+                1.0
+            },
+            |lid| lid != direct,
+        );
+        assert_eq!(rt.hops(NodeId(0), NodeId(2)), Some(2));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use bass_mesh::{Mesh, NodeId};
 use bass_obs::{Event, Journal, ProbeKind};
+use bass_util::rng::SimRng;
 use bass_util::time::{SimDuration, SimTime};
 use bass_util::units::{Bandwidth, DataSize};
 use serde::{Deserialize, Serialize};
@@ -137,6 +138,11 @@ pub struct NetMonitor {
     overhead: ProbeOverhead,
     last_full_probe: Option<SimTime>,
     last_headroom_probe: Option<SimTime>,
+    /// When set, each per-link probe sample is independently dropped with
+    /// the given probability, drawn from the carried RNG (fault
+    /// injection). Dropped samples still cost probe traffic — the packet
+    /// was sent; its measurement was lost.
+    probe_loss: Option<(f64, SimRng)>,
 }
 
 impl NetMonitor {
@@ -149,6 +155,33 @@ impl NetMonitor {
             overhead: ProbeOverhead::default(),
             last_full_probe: None,
             last_headroom_probe: None,
+            probe_loss: None,
+        }
+    }
+
+    /// Starts dropping each per-link probe sample independently with
+    /// probability `p` (clamped to `[0, 1]`), drawing from `rng`. Used by
+    /// the fault-injection layer; lossy probes keep their traffic cost
+    /// but lose their measurements.
+    pub fn set_probe_loss(&mut self, p: f64, rng: SimRng) {
+        self.probe_loss = Some((p.clamp(0.0, 1.0), rng));
+    }
+
+    /// Stops dropping probe samples.
+    pub fn clear_probe_loss(&mut self) {
+        self.probe_loss = None;
+    }
+
+    /// The currently active probe-loss probability, if any.
+    pub fn probe_loss(&self) -> Option<f64> {
+        self.probe_loss.as_ref().map(|&(p, _)| p)
+    }
+
+    /// Draws one loss decision; `false` when no loss is configured.
+    fn sample_lost(&mut self) -> bool {
+        match &mut self.probe_loss {
+            Some((p, rng)) => rng.chance(*p),
+            None => false,
         }
     }
 
@@ -168,10 +201,14 @@ impl NetMonitor {
             let cap = mesh
                 .link_capacity(link.a, link.b)
                 .expect("topology link exists");
-            self.capacity_cache.insert(key(link.a, link.b), (cap, now));
-            // Flooding the link for probe_duration costs its capacity.
+            // Flooding the link for probe_duration costs its capacity —
+            // even when the resulting sample is lost.
             let bits = cap.as_bps() * self.cfg.probe_duration.as_secs_f64();
             self.overhead.full_probe_bytes += DataSize::from_bytes((bits / 8.0) as u64);
+            if self.sample_lost() {
+                continue; // measurement dropped: the stale cache entry survives
+            }
+            self.capacity_cache.insert(key(link.a, link.b), (cap, now));
         }
         self.overhead.full_probes += 1;
         self.last_full_probe = Some(now);
@@ -196,6 +233,17 @@ impl NetMonitor {
                     mesh.link_capacity(link.a, link.b)
                         .expect("topology link exists")
                 });
+            if self.sample_lost() {
+                // Measurement dropped: the probe traffic was still sent,
+                // but this link contributes nothing to the report and its
+                // OK/violated edge-detection state is untouched.
+                let bits = cached.as_bps()
+                    * self.cfg.headroom_probe_rate
+                    * self.cfg.probe_duration.as_secs_f64();
+                self.overhead.headroom_probe_bytes +=
+                    DataSize::from_bytes((bits / 8.0) as u64);
+                continue;
+            }
             let required = cached.scale(self.cfg.headroom_fraction);
             let available = mesh
                 .link_available(link.a, link.b)
@@ -473,6 +521,45 @@ mod tests {
             Some(SimTime::from_secs(5))
         );
         assert_eq!(mon.last_full_probe(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn probe_loss_drops_samples_but_keeps_overhead() {
+        let mesh = mesh();
+        let mut mon = NetMonitor::new(NetMonitorConfig::default());
+        mon.set_probe_loss(1.0, SimRng::seed_from_u64(1));
+        assert_eq!(mon.probe_loss(), Some(1.0));
+        mon.full_probe(&mesh);
+        // All samples dropped: nothing cached, yet the flood was paid for.
+        assert_eq!(mon.cached_link_capacity(NodeId(0), NodeId(1)), None);
+        assert_eq!(
+            mon.overhead().full_probe_bytes,
+            DataSize::from_bytes(3 * 50_000_000 / 8)
+        );
+        let report = mon.headroom_probe(&mesh);
+        assert!(report.links.is_empty());
+        assert!(report.newly_violated.is_empty());
+        assert!(mon.overhead().headroom_probe_bytes > DataSize::ZERO);
+        // Loss cleared: probing works again.
+        mon.clear_probe_loss();
+        assert_eq!(mon.probe_loss(), None);
+        mon.full_probe(&mesh);
+        assert_eq!(mon.cached_link_capacity(NodeId(0), NodeId(1)), Some(mbps(50.0)));
+    }
+
+    #[test]
+    fn partial_probe_loss_is_deterministic_per_seed() {
+        let mesh = mesh();
+        let run = |seed: u64| {
+            let mut mon = NetMonitor::new(NetMonitorConfig::default());
+            mon.set_probe_loss(0.5, SimRng::seed_from_u64(seed));
+            mon.full_probe(&mesh);
+            mesh.topology()
+                .links()
+                .map(|(_, l)| mon.cached_link_capacity(l.a, l.b).is_some())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(42), run(42), "same seed ⇒ same drop pattern");
     }
 
     #[test]

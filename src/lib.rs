@@ -18,8 +18,10 @@ pub use bass_cli as cli;
 pub use bass_cluster as cluster;
 pub use bass_core as core;
 pub use bass_emu as emu;
+pub use bass_faults as faults;
 pub use bass_mesh as mesh;
 pub use bass_netmon as netmon;
+pub use bass_obs as obs;
 pub use bass_trace as trace;
 pub use bass_util as util;
 

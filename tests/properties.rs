@@ -5,10 +5,12 @@ use bass::cluster::{Cluster, NodeSpec};
 use bass::core::heuristics::{breadth_first, hybrid, longest_path, BfsWeighting};
 use bass::core::placement::pack_ordering;
 use bass::mesh::flow::{max_min_allocate, Constraint};
-use bass::mesh::{Mesh, NodeId, Topology};
+use bass::mesh::queueing::{FlowQueue, MAX_DELAY};
+use bass::mesh::routing::RoutingTable;
+use bass::mesh::{LinkId, Mesh, NodeId, Topology};
 use bass::trace::OuTraceConfig;
 use bass::util::time::SimDuration;
-use bass::util::units::Bandwidth;
+use bass::util::units::{Bandwidth, DataSize};
 use proptest::prelude::*;
 
 /// Random DAGs via the catalog's generator (structurally acyclic).
@@ -161,6 +163,119 @@ proptest! {
         prop_assert_eq!(&a, &b);
         for &(_, bw) in a.samples() {
             prop_assert!(bw.as_bps() >= 0.0);
+        }
+    }
+}
+
+/// Ring + random chords topology: always connected, arbitrary shape.
+fn ring_with_chords(n: u32, extra: usize, seed: u64) -> Topology {
+    let mut rng = bass::util::rng::SimRng::seed_from_u64(seed);
+    let mut topo = Topology::new();
+    for i in 0..n {
+        topo.add_node(NodeId(i)).unwrap();
+    }
+    for i in 0..n {
+        topo.add_link(NodeId(i), NodeId((i + 1) % n)).ok();
+    }
+    for _ in 0..extra {
+        let a = rng.below(n as u64) as u32;
+        let b = rng.below(n as u64) as u32;
+        if a != b {
+            topo.add_link(NodeId(a), NodeId(b)).ok();
+        }
+    }
+    topo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn transfer_delay_is_monotone_in_utilization(
+        size_kb in 1u64..1_024,
+        cap_mbps in 1.0f64..1_000.0,
+        rho_lo in 0.0f64..1.0,
+        rho_hi in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if rho_lo <= rho_hi { (rho_lo, rho_hi) } else { (rho_hi, rho_lo) };
+        let size = DataSize::from_kilobytes(size_kb);
+        let cap = Bandwidth::from_mbps(cap_mbps);
+        let mut q = FlowQueue::new();
+        q.set_path_utilization(lo);
+        let d_lo = q.transfer_delay(size, cap, cap);
+        q.set_path_utilization(hi);
+        let d_hi = q.transfer_delay(size, cap, cap);
+        prop_assert!(d_lo <= d_hi, "rho {lo} -> {d_lo}, rho {hi} -> {d_hi}");
+    }
+
+    #[test]
+    fn transfer_delay_is_finite_below_saturation(
+        size_kb in 1u64..1_024,
+        cap_mbps in 1.0f64..1_000.0,
+        rho in 0.0f64..1.0,
+    ) {
+        // No backlog (the flow kept up) and a live path: the M/M/1
+        // inflation alone must never reach the dead-path cap.
+        let mut q = FlowQueue::new();
+        q.set_path_utilization(rho);
+        let d = q.transfer_delay(
+            DataSize::from_kilobytes(size_kb),
+            Bandwidth::from_mbps(cap_mbps),
+            Bandwidth::from_mbps(cap_mbps),
+        );
+        prop_assert!(d > SimDuration::ZERO);
+        prop_assert!(d < MAX_DELAY, "finite below saturation: {d}");
+    }
+
+    #[test]
+    fn transfer_delay_is_monotone_in_backlog(
+        size_kb in 1u64..1_024,
+        cap_mbps in 1.0f64..100.0,
+        backlog_secs in 0.0f64..30.0,
+    ) {
+        // A queue that accumulated backlog can only be slower than an
+        // empty one at the same rates.
+        let size = DataSize::from_kilobytes(size_kb);
+        let cap = Bandwidth::from_mbps(cap_mbps);
+        let empty = FlowQueue::new();
+        let mut backed = FlowQueue::new();
+        backed.advance(
+            SimDuration::from_secs_f64(backlog_secs),
+            Bandwidth::from_mbps(2.0 * cap_mbps),
+            cap,
+        );
+        prop_assert!(empty.transfer_delay(size, cap, cap) <= backed.transfer_delay(size, cap, cap));
+    }
+
+    #[test]
+    fn filtered_routes_never_traverse_down_links(
+        n in 3u32..10,
+        extra in 0usize..10,
+        seed in any::<u64>(),
+        down_bits in any::<u64>(),
+    ) {
+        let topo = ring_with_chords(n, extra, seed);
+        // An arbitrary subset of links is down (bit i of the mask).
+        let down: std::collections::BTreeSet<LinkId> = topo
+            .links()
+            .filter(|(lid, _)| down_bits & (1 << (lid.0 % 64)) != 0)
+            .map(|(lid, _)| lid)
+            .collect();
+        let table = RoutingTable::compute_filtered(&topo, |lid| !down.contains(&lid));
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                let Some(path) = table.path(a, b) else { continue };
+                prop_assert_eq!(path[0], a);
+                prop_assert_eq!(*path.last().unwrap(), b);
+                for hop in path.windows(2) {
+                    let lid = topo.find_link(hop[0], hop[1])
+                        .expect("route uses an existing link");
+                    prop_assert!(
+                        !down.contains(&lid),
+                        "route {a}->{b} traverses down link {lid}"
+                    );
+                }
+            }
         }
     }
 }
