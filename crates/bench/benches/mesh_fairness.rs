@@ -1,7 +1,7 @@
 //! Scaling of the max-min fairness computation and of a full mesh step —
 //! the per-tick cost that bounds the emulator's speed.
 
-use bass_mesh::flow::{max_min_allocate, Constraint};
+use bass_mesh::flow::{max_min_allocate, max_min_allocate_dense, Constraint};
 use bass_mesh::{Mesh, NodeId, Topology};
 use bass_util::rng::SimRng;
 use bass_util::time::SimDuration;
@@ -33,6 +33,11 @@ fn bench_allocation(c: &mut Criterion) {
             .collect();
         group.bench_function(format!("{flows}_flows"), |b| {
             b.iter(|| max_min_allocate(black_box(&demands), black_box(&constraints)))
+        });
+        // The pre-incremental reference engine on the same problem, so a
+        // criterion run reports the incremental speedup directly.
+        group.bench_function(format!("{flows}_flows_dense"), |b| {
+            b.iter(|| max_min_allocate_dense(black_box(&demands), black_box(&constraints)))
         });
     }
     group.finish();

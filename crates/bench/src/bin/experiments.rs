@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--out DIR] [--journal FILE] [id...]
+//! experiments [--quick] [--jobs N] [--out DIR] [--journal FILE] [id...]
 //! ```
 //!
 //! With no ids, every experiment runs in paper order. Each report is
@@ -9,16 +9,35 @@
 //! `results/`). With `--journal FILE`, experiments that replay a full
 //! control-loop scenario (currently `fig13`) append their structured
 //! event stream to FILE as JSON lines — see `docs/OBSERVABILITY.md`.
+//!
+//! Experiments are independent (each owns its own seeded RNG), so by
+//! default they run on `--jobs` worker threads (one per available core,
+//! capped at the experiment count). Reports are buffered and emitted in
+//! request order, so every deterministic output — stdout report blocks,
+//! per-experiment JSON files, and the journal — is byte-identical to a
+//! `--jobs 1` sequential run. (`tab3`/`tab4` report wall-clock latency
+//! they measure on the host, which varies run to run at any job count.)
 
 use bass_bench::experiments::{run_with_journal, ALL_IDS};
 use bass_bench::RunMode;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// What one worker produced for one requested experiment id.
+enum Outcome {
+    /// The experiment ran; report plus wall-clock seconds.
+    Done(bass_bench::ExperimentReport, f64),
+    /// The id is not a known experiment.
+    Unknown,
+}
 
 fn main() -> ExitCode {
     let mut mode = RunMode::Full;
     let mut out_dir = PathBuf::from("results");
     let mut journal_path: Option<PathBuf> = None;
+    let mut jobs: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,8 +57,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs requires an integer >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: experiments [--quick] [--out DIR] [--journal FILE] [id...]");
+                println!(
+                    "usage: experiments [--quick] [--jobs N] [--out DIR] [--journal FILE] [id...]"
+                );
                 println!("experiments: {}", ALL_IDS.join(" "));
                 return ExitCode::SUCCESS;
             }
@@ -49,13 +77,21 @@ fn main() -> ExitCode {
     if ids.is_empty() {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
+    let jobs = jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(ids.len())
+        .max(1);
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
     }
 
-    let mut journal = match &journal_path {
+    let journal = match &journal_path {
         Some(path) => match bass_obs::Journal::with_file(path) {
             Ok(j) => Some(j),
             Err(e) => {
@@ -66,18 +102,53 @@ fn main() -> ExitCode {
         None => None,
     };
 
+    // Only `fig13` consumes the journal (`run_with_journal` hands it back
+    // untouched for every other id), so handing it to the worker that
+    // draws the first `fig13` — and to no one else — appends exactly the
+    // events a sequential run would.
+    let journal_idx = ids.iter().position(|id| id == "fig13");
+    let journal_slot = Mutex::new(journal);
+
+    // Work queue: workers claim indices from a shared counter and park
+    // results in order-preserving slots; emission happens afterwards in
+    // request order so all outputs match a sequential run byte-for-byte.
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Outcome>>> =
+        Mutex::new((0..ids.len()).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ids.len() {
+                    break;
+                }
+                let journal = if journal_idx == Some(i) {
+                    journal_slot.lock().expect("journal lock").take()
+                } else {
+                    None
+                };
+                let started = std::time::Instant::now();
+                let outcome = match run_with_journal(&ids[i], mode, journal) {
+                    Some((report, returned)) => {
+                        if let Some(j) = returned {
+                            *journal_slot.lock().expect("journal lock") = Some(j);
+                        }
+                        Outcome::Done(report, started.elapsed().as_secs_f64())
+                    }
+                    None => Outcome::Unknown,
+                };
+                results.lock().expect("results lock")[i] = Some(outcome);
+            });
+        }
+    });
+
     let mut failed = false;
-    for id in &ids {
-        let started = std::time::Instant::now();
-        match run_with_journal(id, mode, journal.take()) {
-            Some((report, returned)) => {
-                journal = returned;
+    let results = results.into_inner().expect("results lock");
+    for (id, slot) in ids.iter().zip(results) {
+        match slot.expect("every index was claimed") {
+            Outcome::Done(report, secs) => {
                 println!("{report}");
-                println!(
-                    "({} completed in {:.1}s)\n",
-                    id,
-                    started.elapsed().as_secs_f64()
-                );
+                println!("({id} completed in {secs:.1}s)\n");
                 let path = out_dir.join(format!("{id}.json"));
                 match serde_json::to_string_pretty(&report) {
                     Ok(json) => {
@@ -92,12 +163,13 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            None => {
+            Outcome::Unknown => {
                 eprintln!("unknown experiment '{id}' (known: {})", ALL_IDS.join(", "));
                 failed = true;
             }
         }
     }
+    let journal = journal_slot.into_inner().expect("journal lock");
     if let (Some(mut j), Some(path)) = (journal, &journal_path) {
         if let Err(e) = j.flush() {
             eprintln!("cannot flush journal {}: {e}", path.display());

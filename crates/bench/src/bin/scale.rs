@@ -1,0 +1,218 @@
+//! Mesh hot-path scaling benchmark.
+//!
+//! ```text
+//! scale [--quick] [--out FILE]
+//! ```
+//!
+//! Times `Mesh::advance` ticks/sec on synthetic grid meshes from 10
+//! nodes × 50 flows up to 500 nodes × 5000 flows, for the incremental
+//! allocation engine and (at sizes where it finishes in reasonable
+//! time) the pre-incremental dense reference engine, then writes the
+//! measurements to `BENCH_mesh.json` (override with `--out`). Both
+//! engines produce bit-identical allocations, so the ratio is a pure
+//! cost comparison — see `docs/PERFORMANCE.md` for how to read it.
+//!
+//! `--quick` shrinks the size ladder and the per-point measuring window
+//! to a fraction of a second; CI runs it as a smoke test to keep this
+//! harness from rotting.
+
+use bass_mesh::mesh::AllocEngine;
+use bass_mesh::{CapacitySource, Mesh, NodeId, Topology};
+use bass_util::rng::SimRng;
+use bass_util::time::SimDuration;
+use bass_util::units::Bandwidth;
+use serde::Serialize;
+use std::process::ExitCode;
+
+/// Every topology/flow/capacity draw derives from this seed, so the
+/// workload is identical across runs and engines.
+const SEED: u64 = 0x5CA1E;
+
+/// One engine's throughput at one mesh size.
+#[derive(Debug, Clone, Serialize)]
+struct EngineResult {
+    /// Simulated ticks completed inside the measuring window.
+    ticks: u64,
+    /// Wall-clock seconds the window actually took.
+    elapsed_s: f64,
+    /// `ticks / elapsed_s` — the headline number.
+    ticks_per_sec: f64,
+}
+
+/// Both engines' throughput at one mesh size.
+#[derive(Debug, Clone, Serialize)]
+struct SizeResult {
+    /// Node count of the synthetic grid.
+    nodes: usize,
+    /// Flow count over it.
+    flows: usize,
+    /// Link count the grid ended up with.
+    links: usize,
+    /// The steady-state engine (`AllocEngine::Incremental`).
+    incremental: EngineResult,
+    /// The pre-incremental reference (`AllocEngine::Dense`); skipped at
+    /// sizes where a single dense tick is impractically slow.
+    dense: Option<EngineResult>,
+    /// `incremental.ticks_per_sec / dense.ticks_per_sec`, when measured.
+    speedup: Option<f64>,
+}
+
+/// The whole `BENCH_mesh.json` document.
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    /// Document discriminator (`"mesh_scale"`).
+    bench: String,
+    /// `"full"` or `"quick"`.
+    mode: String,
+    /// Simulated step per tick, in milliseconds.
+    step_ms: u64,
+    /// One entry per point on the size ladder.
+    sizes: Vec<SizeResult>,
+}
+
+/// Builds a connected row-major grid: node `i` links right to `i+1`
+/// (same row) and down to `i+width`. A partial last row stays connected
+/// through its up-links.
+fn grid_topology(nodes: usize) -> Topology {
+    let width = (nodes as f64).sqrt().ceil() as usize;
+    let mut topo = Topology::new();
+    for i in 0..nodes {
+        topo.add_node(NodeId(i as u32)).expect("fresh node id");
+    }
+    for i in 0..nodes {
+        let right = i + 1;
+        if right < nodes && right % width != 0 {
+            topo.add_link(NodeId(i as u32), NodeId(right as u32)).expect("fresh link");
+        }
+        let down = i + width;
+        if down < nodes {
+            topo.add_link(NodeId(i as u32), NodeId(down as u32)).expect("fresh link");
+        }
+    }
+    topo
+}
+
+/// Builds the benchmark mesh for one ladder point: grid topology,
+/// per-link constant capacities drawn from 20–100 Mbps, and `flows`
+/// random-pair flows demanding 0.5–10 Mbps each.
+fn build_mesh(nodes: usize, flows: usize, engine: AllocEngine) -> Mesh {
+    let mut rng = SimRng::seed_from_u64(SEED ^ (nodes as u64) << 16 ^ flows as u64);
+    let topo = grid_topology(nodes);
+    let link_ids: Vec<_> = topo.links().map(|(lid, l)| (lid, l.a, l.b)).collect();
+    let mut mesh = Mesh::new(topo).expect("grid is connected");
+    mesh.set_alloc_engine(engine);
+    for (_, a, b) in &link_ids {
+        let cap = Bandwidth::from_mbps(rng.uniform(20.0, 100.0));
+        mesh.set_link_source(*a, *b, CapacitySource::Constant(cap))
+            .expect("link exists");
+    }
+    for _ in 0..flows {
+        let src = rng.below(nodes as u64) as u32;
+        let mut dst = rng.below(nodes as u64) as u32;
+        while dst == src {
+            dst = rng.below(nodes as u64) as u32;
+        }
+        let demand = Bandwidth::from_mbps(rng.uniform(0.5, 10.0));
+        mesh.add_flow(NodeId(src), NodeId(dst), demand).expect("valid endpoints");
+    }
+    mesh
+}
+
+/// Ticks `mesh` for at least `window_s` wall-clock seconds (after a
+/// short warmup) and reports the achieved tick rate.
+fn measure(mut mesh: Mesh, step: SimDuration, window_s: f64) -> EngineResult {
+    for _ in 0..3 {
+        mesh.advance(step);
+    }
+    let started = std::time::Instant::now();
+    let mut ticks = 0u64;
+    loop {
+        mesh.advance(step);
+        ticks += 1;
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed >= window_s {
+            return EngineResult {
+                ticks,
+                elapsed_s: elapsed,
+                ticks_per_sec: ticks as f64 / elapsed,
+            };
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = std::path::PathBuf::from("BENCH_mesh.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) => out = std::path::PathBuf::from(path),
+                None => {
+                    eprintln!("--out requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: scale [--quick] [--out FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The dense path is O(links × flows × path-len) per tick, so above
+    // 100 nodes a single dense point would dominate the whole run; the
+    // incremental ladder keeps going to show the trend.
+    let (ladder, window_s, dense_max_nodes): (&[(usize, usize)], f64, usize) = if quick {
+        (&[(10, 50), (100, 1000)], 0.05, 100)
+    } else {
+        (
+            &[(10, 50), (50, 500), (100, 1000), (200, 2000), (500, 5000)],
+            1.0,
+            100,
+        )
+    };
+    let step = SimDuration::from_millis(100);
+
+    let mut sizes = Vec::new();
+    for &(nodes, flows) in ladder {
+        let mesh = build_mesh(nodes, flows, AllocEngine::Incremental);
+        let links = mesh.topology().link_count();
+        let incremental = measure(mesh, step, window_s);
+        let dense = (nodes <= dense_max_nodes).then(|| {
+            measure(build_mesh(nodes, flows, AllocEngine::Dense), step, window_s)
+        });
+        let speedup = dense
+            .as_ref()
+            .map(|d| incremental.ticks_per_sec / d.ticks_per_sec);
+        println!(
+            "{nodes:>4} nodes {flows:>5} flows {links:>4} links | incremental {:>10.0} ticks/s{}",
+            incremental.ticks_per_sec,
+            match (&dense, speedup) {
+                (Some(d), Some(s)) =>
+                    format!(" | dense {:>8.0} ticks/s | speedup {s:.1}x", d.ticks_per_sec),
+                _ => String::from(" | dense skipped"),
+            }
+        );
+        sizes.push(SizeResult { nodes, flows, links, incremental, dense, speedup });
+    }
+
+    let report = BenchReport {
+        bench: "mesh_scale".to_owned(),
+        mode: if quick { "quick" } else { "full" }.to_owned(),
+        step_ms: 100,
+        sizes,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}

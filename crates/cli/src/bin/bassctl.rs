@@ -5,7 +5,7 @@
 //! bassctl place    --manifest app.json --testbed mesh.json [--policy …] [--seed N] [--json]
 //! bassctl simulate --manifest app.json --testbed mesh.json [--policy …] [--duration SECS]
 //!                  [--no-migrations] [--seed N] [--json] [--journal events.jsonl]
-//!                  [--faults plan.json]
+//!                  [--faults plan.json] [--engine dense|incremental]
 //! bassctl recommend --manifest app.json --testbed mesh.json [--json]
 //! bassctl traces   --testbed mesh.json [--duration SECS] [--seed N]
 //! bassctl schema                       # print example input files
@@ -28,6 +28,7 @@ struct Args {
     json: bool,
     journal: Option<String>,
     faults: Option<String>,
+    engine: bass_mesh::AllocEngine,
 }
 
 fn parse_policy(name: &str) -> Result<SchedulerPolicy, String> {
@@ -38,6 +39,16 @@ fn parse_policy(name: &str) -> Result<SchedulerPolicy, String> {
         "k3s" => Ok(SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated)),
         other => Err(format!(
             "unknown policy '{other}' (expected bfs, longest-path, hybrid, or k3s)"
+        )),
+    }
+}
+
+fn parse_engine(name: &str) -> Result<bass_mesh::AllocEngine, String> {
+    match name {
+        "dense" => Ok(bass_mesh::AllocEngine::Dense),
+        "incremental" => Ok(bass_mesh::AllocEngine::Incremental),
+        other => Err(format!(
+            "unknown engine '{other}' (expected dense or incremental)"
         )),
     }
 }
@@ -54,6 +65,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         json: false,
         journal: None,
         faults: None,
+        engine: bass_mesh::AllocEngine::default(),
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or(format!("{name} requires a value"));
@@ -75,6 +87,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             "--json" => args.json = true,
             "--journal" => args.journal = Some(value("--journal")?),
             "--faults" => args.faults = Some(value("--faults")?),
+            "--engine" => args.engine = parse_engine(&value("--engine")?)?,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -186,6 +199,7 @@ fn run() -> Result<(), String> {
                     seed: args.seed,
                     journal: args.journal.clone().map(std::path::PathBuf::from),
                     faults: args.faults.clone().map(std::path::PathBuf::from),
+                    engine: args.engine,
                 },
             )
             .map_err(|e| e.to_string())?;

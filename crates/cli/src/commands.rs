@@ -157,6 +157,11 @@ pub struct SimulateOptions {
     /// When set, load a [`bass_faults::FaultPlan`] from this JSON file
     /// and inject it into the run (see `docs/FAULTS.md`).
     pub faults: Option<std::path::PathBuf>,
+    /// Max-min allocation engine driving the mesh each tick
+    /// (`--engine dense|incremental`; see `docs/PERFORMANCE.md`). Both
+    /// engines produce bit-identical results; `Dense` is the
+    /// pre-incremental reference kept for regression comparisons.
+    pub engine: bass_mesh::AllocEngine,
 }
 
 impl Default for SimulateOptions {
@@ -168,6 +173,7 @@ impl Default for SimulateOptions {
             seed: 42,
             journal: None,
             faults: None,
+            engine: bass_mesh::AllocEngine::default(),
         }
     }
 }
@@ -218,6 +224,7 @@ pub fn simulate(
         policy: opts.policy,
         migrations_enabled: opts.migrations,
         faults,
+        alloc_engine: opts.engine,
         ..Default::default()
     };
     let mut env = SimEnv::new(mesh, cluster, dag, cfg);
@@ -412,6 +419,7 @@ mod tests {
                 seed: 1,
                 journal: None,
                 faults: None,
+                engine: bass_mesh::AllocEngine::default(),
             },
         )
         .unwrap();

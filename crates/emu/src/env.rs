@@ -8,7 +8,7 @@ use bass_core::placement::pack_ordering;
 use bass_core::scheduler::{BassScheduler, ScheduleError, SchedulerPolicy};
 use bass_core::{BassController, ControllerConfig, MigrationPlan};
 use bass_faults::{Fault, FaultPlan};
-use bass_mesh::{FlowId, Mesh, MeshError, NodeId};
+use bass_mesh::{AllocEngine, FlowId, Mesh, MeshError, NodeId};
 use bass_netmon::{GoodputMonitor, NetMonitor, NetMonitorConfig, OnlineProfiler};
 use bass_util::time::{SimDuration, SimTime};
 use bass_util::units::{Bandwidth, DataSize};
@@ -54,6 +54,12 @@ pub struct SimEnvConfig {
     /// nothing and leaves runs byte-identical to fault-free behaviour.
     /// See the `bass-faults` crate and `docs/FAULTS.md`.
     pub faults: FaultPlan,
+    /// Which max-min allocation engine the mesh runs each tick. The
+    /// default [`AllocEngine::Incremental`] is the fast path;
+    /// [`AllocEngine::Dense`] replays the pre-incremental reference
+    /// implementation (bit-identical results, useful for regression
+    /// comparisons and benchmarking). See `docs/PERFORMANCE.md`.
+    pub alloc_engine: AllocEngine,
 }
 
 impl Default for SimEnvConfig {
@@ -69,6 +75,7 @@ impl Default for SimEnvConfig {
             stateful_state: None,
             adaptive_routing: None,
             faults: FaultPlan::new(),
+            alloc_engine: AllocEngine::default(),
         }
     }
 }
@@ -175,9 +182,10 @@ pub struct SimEnv {
 
 impl SimEnv {
     /// Creates an environment over a mesh, a cluster, and an application.
-    pub fn new(mesh: Mesh, cluster: Cluster, dag: AppDag, cfg: SimEnvConfig) -> Self {
+    pub fn new(mut mesh: Mesh, cluster: Cluster, dag: AppDag, cfg: SimEnvConfig) -> Self {
         let controller = BassController::new(cfg.controller);
         let netmon = NetMonitor::new(cfg.netmon);
+        mesh.set_alloc_engine(cfg.alloc_engine);
         SimEnv {
             cfg,
             mesh,

@@ -66,6 +66,23 @@ impl FlowAllocation {
     pub(crate) fn insert(&mut self, id: FlowId, rate: Bandwidth) {
         self.rates.insert(id, rate);
     }
+
+    /// Replaces the allocation with `rates_bps[i]` for `ids[i]` (both in
+    /// ascending id order), updating values in place when the flow set is
+    /// unchanged so the steady-state tick path performs no allocation.
+    pub(crate) fn assign(&mut self, ids: &[FlowId], rates_bps: &[f64]) {
+        if self.rates.len() == ids.len() && self.rates.keys().zip(ids).all(|(a, b)| a == b) {
+            for (slot, &r) in self.rates.values_mut().zip(rates_bps) {
+                *slot = Bandwidth::from_bps(r);
+            }
+        } else {
+            self.rates = ids
+                .iter()
+                .zip(rates_bps)
+                .map(|(&id, &r)| (id, Bandwidth::from_bps(r)))
+                .collect();
+        }
+    }
 }
 
 /// One capacity constraint (a link, or a node egress cap) and the flows
@@ -76,6 +93,188 @@ pub struct Constraint {
     pub capacity: Bandwidth,
     /// Indices (into the demand vector) of flows crossing this resource.
     pub members: Vec<usize>,
+}
+
+/// Convergence guard shared by both allocator implementations:
+/// increments below this many bps are treated as "done".
+const EPS: f64 = 1e-6; // bps — far below any meaningful rate
+
+/// Reusable scratch state for [`max_min_allocate_into`].
+///
+/// The incremental allocator's working vectors (per-flow rates and
+/// frozen flags, per-constraint remaining capacity and active-member
+/// counts, the compact active-flow list) are kept here so a caller that
+/// allocates every simulation tick — [`crate::Mesh`] — performs zero
+/// heap allocations on the steady-state path.
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    rates: Vec<f64>,
+    frozen: Vec<bool>,
+    remaining: Vec<f64>,
+    active_count: Vec<usize>,
+    active: Vec<usize>,
+}
+
+/// Incremental progressive-filling max-min allocator.
+///
+/// Semantically identical to [`max_min_allocate_dense`] (bit-for-bit:
+/// both perform the same floating-point operations in the same order),
+/// but instead of re-counting every constraint's unfrozen members on
+/// every water-filling round — O(Σ members) *three times per round* —
+/// it keeps a per-constraint *active-member count* and the *remaining
+/// capacity* updated in place. Each round then costs
+/// O(active flows + constraints), and the membership lists are only
+/// walked once in total when flows freeze (amortized O(Σ memberships)
+/// across the whole run).
+///
+/// `flow_cons_off`/`flow_cons` are a CSR-style reverse map from flow
+/// index to the constraint indices it belongs to (one entry per
+/// membership instance): flow `i`'s constraints are
+/// `flow_cons[flow_cons_off[i]..flow_cons_off[i + 1]]`. [`crate::Mesh`]
+/// maintains this map persistently and only rebuilds it when the flow
+/// set or routing changes; [`max_min_allocate`] derives it on the fly.
+///
+/// Rates (in bps) are written into `out`, one per flow, reusing its
+/// storage.
+///
+/// # Panics
+///
+/// Panics if a constraint references a flow index `>= demands.len()` or
+/// the CSR map is inconsistent with `demands.len()`.
+pub fn max_min_allocate_into(
+    demands: &[Bandwidth],
+    constraints: &[Constraint],
+    flow_cons_off: &[usize],
+    flow_cons: &[usize],
+    scratch: &mut AllocScratch,
+    out: &mut Vec<f64>,
+) {
+    let n = demands.len();
+    assert_eq!(flow_cons_off.len(), n + 1, "CSR offsets must have len n + 1");
+
+    scratch.rates.clear();
+    scratch.rates.resize(n, 0.0);
+    scratch.frozen.clear();
+    scratch.frozen.resize(n, false);
+    scratch.remaining.clear();
+    scratch.remaining.extend(constraints.iter().map(|c| c.capacity.as_bps()));
+    scratch.active.clear();
+    let AllocScratch { rates, frozen, remaining, active_count, active } = scratch;
+
+    // Pre-freeze zero-demand flows at rate 0 and grant unconstrained
+    // flows (empty CSR row, e.g. loopback) their full demand.
+    for i in 0..n {
+        if demands[i].as_bps() <= EPS {
+            frozen[i] = true;
+        } else if flow_cons_off[i + 1] == flow_cons_off[i] {
+            rates[i] = demands[i].as_bps();
+            frozen[i] = true;
+        } else {
+            active.push(i);
+        }
+    }
+
+    // Initial active-member counts, honoring the pre-pass freezes.
+    active_count.clear();
+    active_count.resize(constraints.len(), 0);
+    for (ci, c) in constraints.iter().enumerate() {
+        for &m in &c.members {
+            assert!(m < n, "constraint references unknown flow index {m}");
+            if !frozen[m] {
+                active_count[ci] += 1;
+            }
+        }
+    }
+
+    while !active.is_empty() {
+        // Smallest per-flow increment until some flow hits its demand …
+        let mut delta = f64::INFINITY;
+        for &i in active.iter() {
+            delta = delta.min(demands[i].as_bps() - rates[i]);
+        }
+        // … or some constraint saturates.
+        for (ci, &k) in active_count.iter().enumerate() {
+            if k > 0 {
+                delta = delta.min(remaining[ci] / k as f64);
+            }
+        }
+        let delta = delta.max(0.0);
+
+        for &i in active.iter() {
+            rates[i] += delta;
+        }
+        for (ci, &k) in active_count.iter().enumerate() {
+            remaining[ci] -= delta * k as f64;
+        }
+
+        // Freeze demand-satisfied flows and members of saturated
+        // constraints, decrementing the counts of every constraint a
+        // freezing flow belongs to. At least one flow freezes per round
+        // (delta picked the binding resource), so the loop terminates.
+        let mut any_frozen = false;
+        for &i in active.iter() {
+            if demands[i].as_bps() - rates[i] <= EPS {
+                frozen[i] = true;
+                any_frozen = true;
+                for &ci in &flow_cons[flow_cons_off[i]..flow_cons_off[i + 1]] {
+                    active_count[ci] -= 1;
+                }
+            }
+        }
+        for (ci, c) in constraints.iter().enumerate() {
+            if remaining[ci] <= EPS && active_count[ci] > 0 {
+                for &m in &c.members {
+                    if !frozen[m] {
+                        frozen[m] = true;
+                        any_frozen = true;
+                        for &cj in &flow_cons[flow_cons_off[m]..flow_cons_off[m + 1]] {
+                            active_count[cj] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        if !any_frozen {
+            // Defensive: numerical corner where nothing moved.
+            break;
+        }
+        active.retain(|&i| !frozen[i]);
+    }
+
+    out.clear();
+    out.extend_from_slice(rates);
+}
+
+/// Builds the CSR-style flow → constraints reverse map consumed by
+/// [`max_min_allocate_into`], with one entry per membership instance.
+/// `off` receives `n + 1` offsets and `cons` the flattened constraint
+/// indices; both are reused without reallocating when possible.
+pub fn build_flow_constraint_map(
+    n: usize,
+    constraints: &[Constraint],
+    off: &mut Vec<usize>,
+    cons: &mut Vec<usize>,
+) {
+    off.clear();
+    off.resize(n + 1, 0);
+    for c in constraints {
+        for &m in &c.members {
+            assert!(m < n, "constraint references unknown flow index {m}");
+            off[m + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    cons.clear();
+    cons.resize(off[n], 0);
+    let mut cursor: Vec<usize> = off[..n].to_vec();
+    for (ci, c) in constraints.iter().enumerate() {
+        for &m in &c.members {
+            cons[cursor[m]] = ci;
+            cursor[m] += 1;
+        }
+    }
 }
 
 /// Computes the demand-capped max-min fair allocation.
@@ -92,9 +291,28 @@ pub struct Constraint {
 /// - *max-min fairness*: a flow's rate can only be below its demand if it
 ///   crosses a saturated constraint on which no other member has a
 ///   larger rate that could be reduced in its favor.
+///
+/// This is a convenience wrapper over the incremental engine
+/// ([`max_min_allocate_into`]) for one-shot callers; per-tick callers
+/// should hold an [`AllocScratch`] and a persistent CSR map instead.
 pub fn max_min_allocate(demands: &[Bandwidth], constraints: &[Constraint]) -> Vec<Bandwidth> {
-    const EPS: f64 = 1e-6; // bps — far below any meaningful rate
+    let mut off = Vec::new();
+    let mut cons = Vec::new();
+    build_flow_constraint_map(demands.len(), constraints, &mut off, &mut cons);
+    let mut scratch = AllocScratch::default();
+    let mut out = Vec::new();
+    max_min_allocate_into(demands, constraints, &off, &cons, &mut scratch, &mut out);
+    out.into_iter().map(Bandwidth::from_bps).collect()
+}
 
+/// The original dense progressive-filling allocator, kept verbatim as
+/// the correctness *oracle* for the incremental engine (property tests
+/// assert bit-identical outputs) and as the baseline the `scale` bench
+/// measures speedups against. Every water-filling round re-scans every
+/// constraint's full membership list, so each round costs
+/// O(constraints × members); prefer [`max_min_allocate`] everywhere
+/// else.
+pub fn max_min_allocate_dense(demands: &[Bandwidth], constraints: &[Constraint]) -> Vec<Bandwidth> {
     let n = demands.len();
     let mut rates = vec![0.0f64; n];
     let mut frozen = vec![false; n];
@@ -281,6 +499,97 @@ mod tests {
         for (i, r) in rates.iter().enumerate() {
             assert!(r.as_mbps() <= demands[i].as_mbps() + 1e-9);
         }
+    }
+
+    /// The incremental engine must reproduce the dense oracle exactly —
+    /// same floating-point operations in the same order, so the rates
+    /// are bit-identical, not merely close.
+    fn assert_engines_bit_identical(demands: &[Bandwidth], constraints: &[Constraint]) {
+        let dense = max_min_allocate_dense(demands, constraints);
+        let inc = max_min_allocate(demands, constraints);
+        assert_eq!(dense.len(), inc.len());
+        for (i, (d, n)) in dense.iter().zip(&inc).enumerate() {
+            assert!(
+                d.as_bps().to_bits() == n.as_bps().to_bits(),
+                "flow {i}: dense {} vs incremental {}",
+                d.as_bps(),
+                n.as_bps()
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_dense_oracle_on_known_shapes() {
+        let demands = vec![mbps(100.0), mbps(100.0), mbps(100.0)];
+        let constraints = vec![
+            Constraint { capacity: mbps(10.0), members: vec![0, 1] },
+            Constraint { capacity: mbps(4.0), members: vec![1, 2] },
+        ];
+        assert_engines_bit_identical(&demands, &constraints);
+        // Zero capacity, zero demand, unconstrained flows.
+        let demands = vec![Bandwidth::ZERO, mbps(5.0), mbps(42.0)];
+        let constraints = vec![
+            Constraint { capacity: Bandwidth::ZERO, members: vec![0, 1] },
+            Constraint { capacity: mbps(10.0), members: vec![1] },
+        ];
+        assert_engines_bit_identical(&demands, &constraints);
+        // No constraints at all.
+        assert_engines_bit_identical(&[mbps(7.0)], &[]);
+    }
+
+    #[test]
+    fn incremental_matches_dense_oracle_on_random_sets() {
+        let mut rng = bass_util::rng::SimRng::seed_from_u64(0xA110C);
+        for trial in 0..200 {
+            let n = 1 + (rng.below(24) as usize);
+            let demands: Vec<Bandwidth> =
+                (0..n).map(|_| Bandwidth::from_mbps(rng.uniform(0.0, 50.0))).collect();
+            let ncons = rng.below(8) as usize;
+            let constraints: Vec<Constraint> = (0..ncons)
+                .map(|_| Constraint {
+                    capacity: Bandwidth::from_mbps(rng.uniform(0.0, 60.0)),
+                    members: (0..n).filter(|_| rng.chance(0.4)).collect(),
+                })
+                .collect();
+            let dense = max_min_allocate_dense(&demands, &constraints);
+            let inc = max_min_allocate(&demands, &constraints);
+            assert_eq!(dense, inc, "trial {trial} diverged");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_differently_sized_problems() {
+        let mut scratch = AllocScratch::default();
+        let mut off = Vec::new();
+        let mut cons = Vec::new();
+        let mut out = Vec::new();
+        for n in [5usize, 2, 9, 1] {
+            let demands: Vec<Bandwidth> = (0..n).map(|i| mbps(1.0 + i as f64)).collect();
+            let constraints = vec![Constraint { capacity: mbps(6.0), members: (0..n).collect() }];
+            build_flow_constraint_map(n, &constraints, &mut off, &mut cons);
+            max_min_allocate_into(&demands, &constraints, &off, &cons, &mut scratch, &mut out);
+            let expected = max_min_allocate_dense(&demands, &constraints);
+            assert_eq!(out.len(), n);
+            for (got, want) in out.iter().zip(&expected) {
+                assert!((got - want.as_bps()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_assign_reuses_and_rebuilds() {
+        let mut alloc = FlowAllocation::default();
+        alloc.assign(&[FlowId(1), FlowId(4)], &[1e6, 2e6]);
+        assert_mbps(alloc.rate(FlowId(1)), 1.0);
+        assert_mbps(alloc.rate(FlowId(4)), 2.0);
+        // Same key set: values update in place.
+        alloc.assign(&[FlowId(1), FlowId(4)], &[3e6, 4e6]);
+        assert_mbps(alloc.rate(FlowId(1)), 3.0);
+        // Changed key set: the map is rebuilt.
+        alloc.assign(&[FlowId(2)], &[5e6]);
+        assert_eq!(alloc.len(), 1);
+        assert_mbps(alloc.rate(FlowId(2)), 5.0);
+        assert_mbps(alloc.rate(FlowId(1)), 0.0);
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod topology;
 
 pub use capacity::CapacitySource;
 pub use flow::{FlowAllocation, FlowId, FlowSpec};
-pub use mesh::{Mesh, MeshError};
+pub use mesh::{AllocEngine, Mesh, MeshError};
 pub use routing::RoutingTable;
 pub use topology::{LinkId, NodeId, Topology, TopologyError};

@@ -1,7 +1,10 @@
 //! The [`Mesh`] facade: topology + routing + capacities + flows + queues.
 
 use crate::capacity::{CapacitySource, LinkCapacity};
-use crate::flow::{max_min_allocate, Constraint, FlowAllocation, FlowId, FlowSpec};
+use crate::flow::{
+    build_flow_constraint_map, max_min_allocate_dense, max_min_allocate_into, AllocScratch,
+    Constraint, FlowAllocation, FlowId, FlowSpec,
+};
 use crate::queueing::{FlowQueue, HopLatency};
 use crate::routing::RoutingTable;
 use crate::topology::{LinkId, NodeId, Topology};
@@ -43,6 +46,92 @@ impl fmt::Display for MeshError {
 }
 
 impl Error for MeshError {}
+
+/// Selects the algorithm behind [`Mesh::reallocate`].
+///
+/// Both engines compute the identical allocation — bit-for-bit, not
+/// merely numerically close — so switching engines never changes
+/// simulation behaviour, only its cost. `Dense` is retained as the
+/// regression oracle and as the baseline the `scale` bench measures the
+/// incremental engine against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocEngine {
+    /// The pre-incremental reference path: rebuilds every link's member
+    /// list by scanning all flows on every tick
+    /// (O(links × flows × path-len)) and runs the dense water-filling
+    /// oracle, allocating fresh buffers throughout.
+    Dense,
+    /// The default: a persistent link → members inverted index (rebuilt
+    /// only when flows or routes change) feeding the in-place
+    /// incremental allocator, with all scratch buffers reused across
+    /// ticks.
+    #[default]
+    Incremental,
+}
+
+/// Persistent inverted index backing [`AllocEngine::Incremental`]:
+/// the dense flow ordering, one constraint per link (and per
+/// egress-capped node) with its member list, and a CSR flow →
+/// constraints reverse map. Rebuilt only when the flow set, the routing,
+/// or the egress-cap set changes — never on the steady-state tick path.
+#[derive(Debug, Clone, Default)]
+struct AllocIndex {
+    /// Flow ids in ascending order; constraint `members` index into this.
+    ids: Vec<FlowId>,
+    /// Link constraints first (one per link, in `LinkId` order), then one
+    /// per egress-capped node (in `NodeId` order) — the same layout the
+    /// dense path rebuilds per tick. Capacities are refreshed in place
+    /// each [`Mesh::reallocate`]; member lists persist.
+    constraints: Vec<Constraint>,
+    /// Nodes of the egress constraints, aligned with
+    /// `constraints[link_count..]`.
+    egress_nodes: Vec<NodeId>,
+    /// CSR offsets of the flow → constraints reverse map.
+    flow_cons_off: Vec<usize>,
+    /// CSR payload of the flow → constraints reverse map.
+    flow_cons: Vec<usize>,
+    /// Set whenever membership may have changed; cleared by `rebuild`.
+    dirty: bool,
+}
+
+impl AllocIndex {
+    /// One pass over every flow's path (O(Σ path lengths)) rebuilding the
+    /// member lists and the CSR reverse map — replacing the per-tick
+    /// all-flows scan per link the dense path performs.
+    fn rebuild(
+        &mut self,
+        link_count: usize,
+        flows: &BTreeMap<FlowId, FlowState>,
+        egress_caps: &BTreeMap<NodeId, Bandwidth>,
+    ) {
+        self.ids.clear();
+        self.constraints.clear();
+        self.constraints.resize_with(link_count + egress_caps.len(), || Constraint {
+            capacity: Bandwidth::ZERO,
+            members: Vec::new(),
+        });
+        self.egress_nodes.clear();
+        self.egress_nodes.extend(egress_caps.keys().copied());
+        for (i, f) in flows.values().enumerate() {
+            for lid in &f.links {
+                self.constraints[lid.0].members.push(i);
+            }
+            for node in &f.egress {
+                if let Ok(k) = self.egress_nodes.binary_search(node) {
+                    self.constraints[link_count + k].members.push(i);
+                }
+            }
+        }
+        self.ids.extend(flows.keys().copied());
+        build_flow_constraint_map(
+            self.ids.len(),
+            &self.constraints,
+            &mut self.flow_cons_off,
+            &mut self.flow_cons,
+        );
+        self.dirty = false;
+    }
+}
 
 #[derive(Debug, Clone)]
 struct FlowState {
@@ -110,6 +199,23 @@ pub struct Mesh {
     /// Per-link weights of the last `use_weighted_routing` call, kept so
     /// fault-driven route recomputations stay quality-aware.
     last_weights: Option<Vec<f64>>,
+    /// Which allocation engine `reallocate` dispatches to.
+    engine: AllocEngine,
+    /// Persistent membership index for the incremental engine.
+    index: AllocIndex,
+    /// Reusable working state of the incremental allocator.
+    scratch: AllocScratch,
+    /// Per-flow demand vector, reused across ticks.
+    demands_scratch: Vec<Bandwidth>,
+    /// Per-flow allocated bps from the last allocation, reused across
+    /// ticks.
+    rates_bps: Vec<f64>,
+    /// Effective per-link capacities (bps) cached by the last
+    /// `reallocate` — `advance` derives utilizations from these without
+    /// re-querying every capacity source.
+    link_cap_bps: Vec<f64>,
+    /// Per-link utilization scratch for the queueing model.
+    util_scratch: Vec<f64>,
 }
 
 impl Mesh {
@@ -147,7 +253,27 @@ impl Mesh {
             down_links: BTreeSet::new(),
             trace_freeze: BTreeMap::new(),
             last_weights: None,
+            engine: AllocEngine::default(),
+            index: AllocIndex { dirty: true, ..AllocIndex::default() },
+            scratch: AllocScratch::default(),
+            demands_scratch: Vec::new(),
+            rates_bps: Vec::new(),
+            link_cap_bps: vec![0.0; link_count],
+            util_scratch: vec![0.0; link_count],
         })
+    }
+
+    /// The allocation engine [`Mesh::reallocate`] currently dispatches
+    /// to (default [`AllocEngine::Incremental`]).
+    pub fn alloc_engine(&self) -> AllocEngine {
+        self.engine
+    }
+
+    /// Selects the allocation engine; takes effect at the next
+    /// [`Mesh::reallocate`]. Both engines produce bit-identical
+    /// allocations (see [`AllocEngine`]), so this only changes cost.
+    pub fn set_alloc_engine(&mut self, engine: AllocEngine) {
+        self.engine = engine;
     }
 
     /// Creates a mesh where every link has the same constant capacity
@@ -351,32 +477,26 @@ impl Mesh {
     /// allocation, queues preserved) and restored when a later
     /// recomputation finds a path again.
     fn recompute_routes_and_flows(&mut self) {
-        let down_links = self.down_links.clone();
-        let down_nodes = self.down_nodes.clone();
-        let usable = |topo: &Topology, lid: LinkId| {
+        // Borrow the fault state instead of cloning it: the routing
+        // computation only needs shared access, and the result is
+        // assigned to `self.routes` after the borrows end.
+        let topo = &self.topo;
+        let down_links = &self.down_links;
+        let down_nodes = &self.down_nodes;
+        let usable = |lid: LinkId| {
             if down_links.contains(&lid) {
                 return false;
             }
             let link = topo.link(lid);
             !down_nodes.contains(&link.a) && !down_nodes.contains(&link.b)
         };
-        self.routes = match &self.last_weights {
-            Some(w) => {
-                let weights = w.clone();
-                RoutingTable::compute_weighted_filtered(
-                    &self.topo,
-                    |lid| weights[lid.0],
-                    |lid| usable(&self.topo, lid),
-                )
-            }
-            None => RoutingTable::compute_filtered(&self.topo, |lid| usable(&self.topo, lid)),
+        let routes = match &self.last_weights {
+            Some(w) => RoutingTable::compute_weighted_filtered(topo, |lid| w[lid.0], usable),
+            None => RoutingTable::compute_filtered(topo, usable),
         };
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        for id in ids {
-            let (src, dst) = {
-                let f = &self.flows[&id];
-                (f.spec.src, f.spec.dst)
-            };
+        self.routes = routes;
+        for f in self.flows.values_mut() {
+            let (src, dst) = (f.spec.src, f.spec.dst);
             let routed = if src == dst {
                 // Loopback dies with its node.
                 (!self.down_nodes.contains(&src)).then(|| (Vec::new(), Vec::new()))
@@ -386,7 +506,6 @@ impl Mesh {
                     (links, path[..path.len() - 1].to_vec())
                 })
             };
-            let f = self.flows.get_mut(&id).expect("flow exists");
             match routed {
                 Some((links, egress)) => {
                     f.links = links;
@@ -400,6 +519,7 @@ impl Mesh {
                 }
             }
         }
+        self.index.dirty = true;
     }
 
     // ----- capacity control ------------------------------------------------
@@ -458,6 +578,9 @@ impl Mesh {
                 self.egress_caps.remove(&node);
             }
         }
+        // The egress constraint set changed shape (or value): rebuild the
+        // membership index at the next allocation.
+        self.index.dirty = true;
         Ok(())
     }
 
@@ -509,6 +632,7 @@ impl Mesh {
                 routable,
             },
         );
+        self.index.dirty = true;
         Ok(id)
     }
 
@@ -530,6 +654,7 @@ impl Mesh {
     /// Returns [`MeshError::UnknownFlow`] for unknown ids.
     pub fn remove_flow(&mut self, id: FlowId) -> Result<(), MeshError> {
         self.flows.remove(&id).ok_or(MeshError::UnknownFlow(id))?;
+        self.index.dirty = true;
         Ok(())
     }
 
@@ -569,41 +694,124 @@ impl Mesh {
     pub fn advance(&mut self, dt: SimDuration) {
         self.now += dt;
         self.reallocate();
-        // Per-link utilization for the queueing model.
-        let utilization: Vec<f64> = (0..self.topo.link_count())
-            .map(|i| {
-                let cap = self.effective_link_capacity(LinkId(i));
-                if cap.is_zero() {
-                    if self.link_used_bps[i] > 0.0 {
-                        1.0
-                    } else {
-                        0.0
-                    }
+        // Per-link utilization for the queueing model, derived from the
+        // effective capacities `reallocate` just cached (same instant, so
+        // no capacity source is queried twice per tick).
+        let link_count = self.topo.link_count();
+        self.util_scratch.resize(link_count, 0.0);
+        for i in 0..link_count {
+            let cap = self.link_cap_bps[i];
+            self.util_scratch[i] = if cap <= f64::EPSILON {
+                if self.link_used_bps[i] > 0.0 {
+                    1.0
                 } else {
-                    (self.link_used_bps[i] / cap.as_bps()).clamp(0.0, 1.0)
+                    0.0
                 }
-            })
-            .collect();
+            } else {
+                (self.link_used_bps[i] / cap).clamp(0.0, 1.0)
+            };
+        }
         for (&id, flow) in self.flows.iter_mut() {
             let allocated = self.allocation.rate(id);
             flow.queue.advance(dt, flow.spec.demand, allocated);
             let rho = flow
                 .links
                 .iter()
-                .map(|l| utilization[l.0])
+                .map(|l| self.util_scratch[l.0])
                 .fold(0.0f64, f64::max);
             flow.queue.set_path_utilization(rho);
         }
     }
 
     /// Recomputes the allocation at the current time without advancing
-    /// queues (useful right after changing demands or capacities).
+    /// queues (useful right after changing demands or capacities),
+    /// dispatching to the configured [`AllocEngine`].
     pub fn reallocate(&mut self) {
+        match self.engine {
+            AllocEngine::Dense => self.reallocate_dense(),
+            AllocEngine::Incremental => self.reallocate_incremental(),
+        }
+    }
+
+    /// Fills `demands_scratch` with each flow's transmit demand, in
+    /// ascending flow-id order. A flow with queued backlog asks for
+    /// extra bandwidth to drain it (targeting a one-second drain), on
+    /// top of its offered load — this is how a real transport keeps
+    /// transmitting a queue even after the application stops producing.
+    /// An unroutable flow transmits nothing at all.
+    fn fill_demands(&mut self) {
+        self.demands_scratch.clear();
+        for f in self.flows.values() {
+            self.demands_scratch.push(if !f.routable {
+                Bandwidth::ZERO
+            } else {
+                let drain = f.queue.backlog().rate_over(SimDuration::from_secs(1));
+                f.spec.demand + drain
+            });
+        }
+    }
+
+    /// The steady-state hot path: refresh constraint capacities in
+    /// place, run the incremental allocator over the persistent
+    /// membership index (rebuilding it only when dirty), and update the
+    /// usage views — all without allocating.
+    fn reallocate_incremental(&mut self) {
+        let link_count = self.topo.link_count();
+        if self.index.dirty {
+            self.index.rebuild(link_count, &self.flows, &self.egress_caps);
+        }
+
+        // Refresh constraint capacities; membership is untouched.
+        self.link_cap_bps.resize(link_count, 0.0);
+        for i in 0..link_count {
+            let cap = self.effective_link_capacity(LinkId(i));
+            self.link_cap_bps[i] = cap.as_bps();
+        }
+        {
+            let AllocIndex { constraints, egress_nodes, .. } = &mut self.index;
+            for (c, &bps) in constraints.iter_mut().zip(&self.link_cap_bps) {
+                c.capacity = Bandwidth::from_bps(bps);
+            }
+            for (k, node) in egress_nodes.iter().enumerate() {
+                constraints[link_count + k].capacity = self.egress_caps[node];
+            }
+        }
+
+        self.fill_demands();
+        max_min_allocate_into(
+            &self.demands_scratch,
+            &self.index.constraints,
+            &self.index.flow_cons_off,
+            &self.index.flow_cons,
+            &mut self.scratch,
+            &mut self.rates_bps,
+        );
+        self.allocation.assign(&self.index.ids, &self.rates_bps);
+
+        // Per-link and per-node-egress usage for monitoring. Each link's
+        // members are in ascending flow order, so the float accumulation
+        // order matches the dense path's flow-major loop exactly.
+        self.link_used_bps.resize(link_count, 0.0);
+        self.link_used_bps.fill(0.0);
+        for (ci, c) in self.index.constraints[..link_count].iter().enumerate() {
+            for &m in &c.members {
+                self.link_used_bps[ci] += self.rates_bps[m];
+            }
+        }
+        self.egress_used_bps.clear();
+        for (i, f) in self.flows.values().enumerate() {
+            for &node in &f.egress {
+                *self.egress_used_bps.entry(node).or_insert(0.0) += self.rates_bps[i];
+            }
+        }
+    }
+
+    /// The pre-incremental reference path, kept verbatim (fresh buffers,
+    /// per-tick membership scans, dense oracle) so regressions can
+    /// replay both engines and the `scale` bench can measure the
+    /// speedup. See [`AllocEngine::Dense`].
+    fn reallocate_dense(&mut self) {
         let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        // A flow with queued backlog asks for extra bandwidth to drain it
-        // (targeting a one-second drain), on top of its offered load —
-        // this is how a real transport keeps transmitting a queue even
-        // after the application stops producing.
         let demands: Vec<Bandwidth> = ids
             .iter()
             .map(|id| {
@@ -617,21 +825,20 @@ impl Mesh {
             })
             .collect();
 
+        self.link_cap_bps.resize(self.topo.link_count(), 0.0);
         let mut constraints = Vec::new();
         // One constraint per link.
         for (lid, _) in self.topo.links() {
+            let capacity = self.effective_link_capacity(lid);
+            self.link_cap_bps[lid.0] = capacity.as_bps();
             let members: Vec<usize> = ids
                 .iter()
                 .enumerate()
                 .filter(|(_, id)| self.flows[id].links.contains(&lid))
                 .map(|(i, _)| i)
                 .collect();
-            constraints.push(Constraint {
-                capacity: self.effective_link_capacity(lid),
-                members,
-            });
+            constraints.push(Constraint { capacity, members });
         }
-        let link_constraints = constraints.len();
         // One constraint per node egress cap.
         for (&node, &cap) in &self.egress_caps {
             let members: Vec<usize> = ids
@@ -643,7 +850,7 @@ impl Mesh {
             constraints.push(Constraint { capacity: cap, members });
         }
 
-        let rates = max_min_allocate(&demands, &constraints);
+        let rates = max_min_allocate_dense(&demands, &constraints);
         let mut allocation = FlowAllocation::default();
         for (i, id) in ids.iter().enumerate() {
             allocation.insert(*id, rates[i]);
@@ -660,7 +867,6 @@ impl Mesh {
                 *self.egress_used_bps.entry(node).or_insert(0.0) += rates[i].as_bps();
             }
         }
-        let _ = link_constraints;
         self.allocation = allocation;
     }
 

@@ -56,11 +56,12 @@ impl RoutingTable {
     /// the mesh to route around faulted links and crashed nodes;
     /// destinations that become unreachable simply have no entry.
     pub fn compute_filtered(topo: &Topology, mut usable: impl FnMut(LinkId) -> bool) -> Self {
-        let pass: std::collections::BTreeSet<LinkId> = topo
-            .links()
-            .filter(|(lid, _)| usable(*lid))
-            .map(|(lid, _)| lid)
-            .collect();
+        // Link ids are dense, so a bit-vector beats a tree set: O(1)
+        // membership checks on every BFS edge relaxation.
+        let mut pass = vec![false; topo.link_count()];
+        for (lid, _) in topo.links() {
+            pass[lid.0] = usable(lid);
+        }
         let mut paths = BTreeMap::new();
         for src in topo.nodes() {
             // BFS with parent pointers; neighbors() is sorted so the
@@ -72,7 +73,7 @@ impl RoutingTable {
             while let Some(n) = queue.pop_front() {
                 for nb in topo.neighbors(n) {
                     let lid = topo.find_link(n, nb).expect("neighbor edge exists");
-                    if !pass.contains(&lid) {
+                    if !pass[lid.0] {
                         continue;
                     }
                     if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(nb) {
@@ -124,18 +125,20 @@ impl RoutingTable {
         mut weight_of: impl FnMut(LinkId) -> LinkWeight,
         mut usable: impl FnMut(LinkId) -> bool,
     ) -> Self {
-        let weights: BTreeMap<LinkId, f64> = topo
-            .links()
-            .filter(|(lid, _)| usable(*lid))
-            .map(|(lid, _)| {
-                let w = weight_of(lid);
-                assert!(
-                    w.is_finite() && w >= 0.0,
-                    "link weight must be finite and non-negative, got {w} for {lid}"
-                );
-                (lid, w)
-            })
-            .collect();
+        // Dense per-link weight table; `None` marks a filtered-out link
+        // (whose weight closure is deliberately never evaluated).
+        let mut weights: Vec<Option<f64>> = vec![None; topo.link_count()];
+        for (lid, _) in topo.links() {
+            if !usable(lid) {
+                continue;
+            }
+            let w = weight_of(lid);
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "link weight must be finite and non-negative, got {w} for {lid}"
+            );
+            weights[lid.0] = Some(w);
+        }
 
         let mut paths = BTreeMap::new();
         for src in topo.nodes() {
@@ -158,7 +161,7 @@ impl RoutingTable {
                 for nb in topo.neighbors(u) {
                     let lid = topo.find_link(u, nb).expect("neighbor edge exists");
                     // Filtered-out links have no weight entry: skip them.
-                    let Some(&w) = weights.get(&lid) else { continue };
+                    let Some(w) = weights[lid.0] else { continue };
                     let cand = du + w;
                     let better = match dist.get(&nb) {
                         None => true,

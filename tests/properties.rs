@@ -4,7 +4,8 @@ use bass::appdag::{AppDag, ComponentId};
 use bass::cluster::{Cluster, NodeSpec};
 use bass::core::heuristics::{breadth_first, hybrid, longest_path, BfsWeighting};
 use bass::core::placement::pack_ordering;
-use bass::mesh::flow::{max_min_allocate, Constraint};
+use bass::mesh::flow::{max_min_allocate, max_min_allocate_dense, Constraint};
+use bass::mesh::AllocEngine;
 use bass::mesh::queueing::{FlowQueue, MAX_DELAY};
 use bass::mesh::routing::RoutingTable;
 use bass::mesh::{LinkId, Mesh, NodeId, Topology};
@@ -91,6 +92,112 @@ proptest! {
         for c in &constraints {
             let used: f64 = c.members.iter().map(|&m| rates[m].as_bps()).sum();
             prop_assert!(used <= c.capacity.as_bps() + 10.0, "used {used} cap {}", c.capacity);
+        }
+    }
+
+    #[test]
+    fn incremental_allocator_matches_dense_oracle(
+        demands_mbps in proptest::collection::vec(0.0f64..50.0, 1..24),
+        n_constraints in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        // `max_min_allocate` now runs the incremental engine; the
+        // pre-refactor dense implementation is kept as the oracle. The
+        // two must agree bit-for-bit on arbitrary problems, and the
+        // incremental output must satisfy the allocator's contract.
+        let mut rng = bass::util::rng::SimRng::seed_from_u64(seed);
+        let demands: Vec<Bandwidth> =
+            demands_mbps.iter().map(|&m| Bandwidth::from_mbps(m)).collect();
+        let constraints: Vec<Constraint> = (0..n_constraints)
+            .map(|_| Constraint {
+                capacity: Bandwidth::from_mbps(rng.uniform(0.0, 60.0)),
+                members: (0..demands.len()).filter(|_| rng.chance(0.4)).collect(),
+            })
+            .collect();
+        let oracle = max_min_allocate_dense(&demands, &constraints);
+        let incremental = max_min_allocate(&demands, &constraints);
+        prop_assert_eq!(oracle.len(), incremental.len());
+        for (i, (o, inc)) in oracle.iter().zip(&incremental).enumerate() {
+            prop_assert_eq!(
+                o.as_bps().to_bits(), inc.as_bps().to_bits(),
+                "flow {}: dense {} vs incremental {}", i, o, inc
+            );
+        }
+        // Demand-bounded and non-negative.
+        for (r, d) in incremental.iter().zip(&demands) {
+            prop_assert!(r.as_bps() <= d.as_bps() + 1.0, "rate {} demand {}", r, d);
+            prop_assert!(r.as_bps() >= 0.0);
+        }
+        // Capacity-feasible.
+        for c in &constraints {
+            let used: f64 = c.members.iter().map(|&m| incremental[m].as_bps()).sum();
+            prop_assert!(used <= c.capacity.as_bps() + 10.0, "used {} cap {}", used, c.capacity);
+        }
+    }
+
+    #[test]
+    fn mesh_engines_agree_through_churn(
+        n in 3u32..9,
+        extra in 0usize..8,
+        n_flows in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        // Drive two identical meshes — one per engine — through flow
+        // churn, an egress cap, and a link-capacity change, and require
+        // identical per-flow rates at every step. This exercises the
+        // persistent index's dirty-flag invalidation paths end to end.
+        let topo = ring_with_chords(n, extra, seed);
+        let mk = |engine: AllocEngine| {
+            let mut mesh = Mesh::with_uniform_capacity(topo.clone(), Bandwidth::from_mbps(20.0))
+                .unwrap();
+            mesh.set_alloc_engine(engine);
+            mesh
+        };
+        let mut a = mk(AllocEngine::Dense);
+        let mut b = mk(AllocEngine::Incremental);
+        let mut flow_rng = bass::util::rng::SimRng::seed_from_u64(seed ^ 0xF10);
+        let mut ids = Vec::new();
+        let step = SimDuration::from_millis(100);
+        let assert_agree = |a: &Mesh, b: &Mesh, ids: &[bass::mesh::FlowId], when: &str| {
+            for &id in ids {
+                let ra = a.flow_rate(id).as_bps();
+                let rb = b.flow_rate(id).as_bps();
+                assert_eq!(ra.to_bits(), rb.to_bits(), "{when}: flow {id} {ra} vs {rb}");
+            }
+        };
+        for _ in 0..n_flows {
+            let src = NodeId(flow_rng.below(n as u64) as u32);
+            let dst = NodeId(flow_rng.below(n as u64) as u32);
+            let demand = Bandwidth::from_mbps(flow_rng.uniform(0.5, 30.0));
+            let fa = a.add_flow(src, dst, demand).unwrap();
+            let fb = b.add_flow(src, dst, demand).unwrap();
+            prop_assert_eq!(fa, fb);
+            ids.push(fa);
+            a.advance(step);
+            b.advance(step);
+            assert_agree(&a, &b, &ids, "after add");
+        }
+        // Cap one node's egress, then squeeze one link.
+        let capped = NodeId(flow_rng.below(n as u64) as u32);
+        a.set_node_egress_cap(capped, Some(Bandwidth::from_mbps(5.0))).unwrap();
+        b.set_node_egress_cap(capped, Some(Bandwidth::from_mbps(5.0))).unwrap();
+        a.advance(step);
+        b.advance(step);
+        assert_agree(&a, &b, &ids, "after egress cap");
+        let squeezed = NodeId(flow_rng.below(n as u64) as u32);
+        let peer = NodeId((squeezed.0 + 1) % n);
+        a.set_link_cap(squeezed, peer, Some(Bandwidth::from_mbps(1.0))).unwrap();
+        b.set_link_cap(squeezed, peer, Some(Bandwidth::from_mbps(1.0))).unwrap();
+        a.advance(step);
+        b.advance(step);
+        assert_agree(&a, &b, &ids, "after link squeeze");
+        // Remove half the flows.
+        for id in ids.drain(..ids.len() / 2 + 1).collect::<Vec<_>>() {
+            a.remove_flow(id).unwrap();
+            b.remove_flow(id).unwrap();
+            a.advance(step);
+            b.advance(step);
+            assert_agree(&a, &b, &ids, "after remove");
         }
     }
 
