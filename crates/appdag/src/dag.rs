@@ -356,6 +356,60 @@ impl AppDag {
         Ok(best)
     }
 
+    /// Copies every component and edge of `other` into this DAG with all
+    /// component ids shifted by `id_offset` and names prefixed with
+    /// `name_prefix` — how the scenario runner hosts many independent app
+    /// instances in one deployment DAG without id collisions. Returns the
+    /// new (offset) component ids in ascending order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::DuplicateComponent`] when an offset id is
+    /// already taken; nothing is modified in that case.
+    pub fn absorb(
+        &mut self,
+        other: &AppDag,
+        id_offset: u32,
+        name_prefix: &str,
+    ) -> Result<Vec<ComponentId>, DagError> {
+        for id in other.component_ids() {
+            let shifted = ComponentId(id.0 + id_offset);
+            if self.components.contains_key(&shifted) {
+                return Err(DagError::DuplicateComponent(shifted));
+            }
+        }
+        let mut added = Vec::with_capacity(other.component_count());
+        for c in other.components() {
+            let shifted = ComponentId(c.id.0 + id_offset);
+            let mut copy = c.clone();
+            copy.id = shifted;
+            copy.name = format!("{name_prefix}{}", c.name);
+            self.components.insert(shifted, copy);
+            added.push(shifted);
+        }
+        // `other` is acyclic and its ids are disjoint from ours, so the
+        // shifted edges cannot create a cycle; push them directly.
+        for e in other.edges() {
+            self.edges.push(DagEdge {
+                from: ComponentId(e.from.0 + id_offset),
+                to: ComponentId(e.to.0 + id_offset),
+                bandwidth: e.bandwidth,
+            });
+        }
+        Ok(added)
+    }
+
+    /// Removes a component and every edge touching it. Returns `true` if
+    /// the component existed. The inverse of [`AppDag::absorb`]: retiring
+    /// an app instance removes its components one by one.
+    pub fn remove_component(&mut self, id: ComponentId) -> bool {
+        if self.components.remove(&id).is_none() {
+            return false;
+        }
+        self.edges.retain(|e| e.from != id && e.to != id);
+        true
+    }
+
     /// Graphviz DOT rendering (for documentation and debugging).
     pub fn to_dot(&self) -> String {
         let mut out = format!("digraph \"{}\" {{\n", self.name);
@@ -520,6 +574,41 @@ mod tests {
         let social = catalog::social_network(50.0);
         assert!(social.max_fan_out() >= 5, "{}", social.max_fan_out());
         assert!(social.depth().unwrap() >= 3);
+    }
+
+    #[test]
+    fn absorb_offsets_ids_and_prefixes_names() {
+        let mut host = diamond();
+        let ids = host.absorb(&diamond(), 100, "app2/").unwrap();
+        assert_eq!(
+            ids,
+            vec![ComponentId(101), ComponentId(102), ComponentId(103), ComponentId(104)]
+        );
+        assert_eq!(host.component_count(), 8);
+        assert_eq!(host.edge_count(), 8);
+        assert!(host.topo_sort().is_ok());
+        assert_eq!(host.component(ComponentId(102)).unwrap().name, "app2/c2");
+        assert_eq!(
+            host.bandwidth_between(ComponentId(101), ComponentId(102)),
+            mbps(5.0)
+        );
+        // Colliding offset refuses and leaves the host untouched.
+        assert_eq!(
+            host.absorb(&diamond(), 100, "x/"),
+            Err(DagError::DuplicateComponent(ComponentId(101)))
+        );
+        assert_eq!(host.component_count(), 8);
+    }
+
+    #[test]
+    fn remove_component_drops_incident_edges() {
+        let mut dag = diamond();
+        assert!(dag.remove_component(ComponentId(2)));
+        assert!(!dag.remove_component(ComponentId(2)));
+        assert_eq!(dag.component_count(), 3);
+        // Edges 1→2 and 2→4 are gone; 1→3 and 3→4 remain.
+        assert_eq!(dag.edge_count(), 2);
+        assert!(dag.topo_sort().is_ok());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!                  [--faults plan.json] [--engine dense|incremental]
 //! bassctl recommend --manifest app.json --testbed mesh.json [--json]
 //! bassctl traces   --testbed mesh.json [--duration SECS] [--seed N]
+//! bassctl campaign --spec scenario.json [--seed N] [--jobs N] [--out summary.json]
+//!                  [--engine dense|incremental] [--journal events.jsonl]
 //! bassctl schema                       # print example input files
 //! ```
 
@@ -21,6 +23,9 @@ use std::process::ExitCode;
 struct Args {
     manifest: Option<String>,
     testbed: Option<String>,
+    spec: Option<String>,
+    jobs: usize,
+    out: Option<String>,
     policy: SchedulerPolicy,
     duration_s: u64,
     migrations: bool,
@@ -58,6 +63,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
     let mut args = Args {
         manifest: None,
         testbed: None,
+        spec: None,
+        jobs: 1,
+        out: None,
         policy: SchedulerPolicy::LongestPath,
         duration_s: 300,
         migrations: true,
@@ -72,6 +80,16 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         match flag.as_str() {
             "--manifest" => args.manifest = Some(value("--manifest")?),
             "--testbed" => args.testbed = Some(value("--testbed")?),
+            "--spec" => args.spec = Some(value("--spec")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
             "--policy" => args.policy = parse_policy(&value("--policy")?)?,
             "--duration" => {
                 args.duration_s = value("--duration")?
@@ -225,8 +243,51 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "campaign" => {
+            let path = args.spec.as_ref().ok_or("--spec is required")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let spec = bass_scenario::ScenarioSpec::from_json(&text)
+                .map_err(|e| format!("cannot parse {path}: {e}"))?;
+            let summary = bass_cli::campaign(
+                &spec,
+                args.seed,
+                args.jobs,
+                args.engine,
+                args.journal.as_ref().map(std::path::Path::new),
+            )
+            .map_err(|e| e.to_string())?;
+            let json = summary.to_json();
+            if let Some(out) = &args.out {
+                std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+            }
+            if args.json || args.out.is_none() {
+                println!("{json}");
+            } else {
+                let a = &summary.aggregate;
+                println!(
+                    "campaign '{}' seed {}: {} replicas, {} ticks total",
+                    summary.scenario,
+                    summary.seed,
+                    summary.replicas.len(),
+                    a.ticks
+                );
+                println!(
+                    "apps: {} admitted, {} rejected, {} retired; {} migrations ({} unplaceable); {} faults",
+                    a.apps_admitted, a.apps_rejected, a.apps_retired, a.migrations,
+                    a.unplaceable, a.faults_injected
+                );
+                println!(
+                    "goodput fraction: p50 {:.3}, p95 {:.3}, p99 {:.3}, mean {:.3} over {} samples",
+                    a.goodput.p50, a.goodput.p95, a.goodput.p99, a.goodput.mean,
+                    a.goodput.samples
+                );
+                println!("summary written to {}", args.out.as_deref().unwrap_or("-"));
+            }
+            Ok(())
+        }
         "--help" | "-h" | "help" => {
-            println!("bassctl order|place|simulate|schema — see crate docs");
+            println!("bassctl order|place|simulate|campaign|schema — see crate docs");
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),

@@ -28,6 +28,8 @@ pub enum CommandError {
     Journal(std::io::Error),
     /// The `--faults` plan could not be read or parsed.
     Faults(String),
+    /// A scenario campaign failed (invalid spec or a dead replica).
+    Campaign(bass_scenario::CampaignError),
 }
 
 impl fmt::Display for CommandError {
@@ -39,6 +41,7 @@ impl fmt::Display for CommandError {
             CommandError::Env(e) => write!(f, "simulation error: {e}"),
             CommandError::Journal(e) => write!(f, "journal error: {e}"),
             CommandError::Faults(e) => write!(f, "fault plan error: {e}"),
+            CommandError::Campaign(e) => write!(f, "campaign error: {e}"),
         }
     }
 }
@@ -52,6 +55,7 @@ impl Error for CommandError {
             CommandError::Env(e) => Some(e),
             CommandError::Journal(e) => Some(e),
             CommandError::Faults(_) => None,
+            CommandError::Campaign(e) => Some(e),
         }
     }
 }
@@ -335,6 +339,42 @@ pub fn traces(
         out.push((key, String::from_utf8(csv).expect("CSV is UTF-8")));
     }
     Ok(out)
+}
+
+/// `bassctl campaign`: run every replica of a seeded scenario spec (see
+/// `docs/SCENARIOS.md`) and return the streaming campaign summary. With
+/// a journal path, one `campaign_replica_completed` event per replica is
+/// written after the run — campaigns never attach journals inside their
+/// tick loops, which would grow memory with the horizon.
+///
+/// # Errors
+///
+/// Fails on an invalid spec, a replica that cannot run, or an unwritable
+/// journal path.
+pub fn campaign(
+    spec: &bass_scenario::ScenarioSpec,
+    seed: u64,
+    jobs: usize,
+    engine: bass_mesh::AllocEngine,
+    journal: Option<&std::path::Path>,
+) -> Result<bass_scenario::CampaignSummary, CommandError> {
+    let summary =
+        bass_scenario::run_campaign(spec, seed, jobs, engine).map_err(CommandError::Campaign)?;
+    if let Some(path) = journal {
+        let mut j = bass_obs::Journal::with_file(path).map_err(CommandError::Journal)?;
+        let horizon_s = (spec.horizon_ticks * spec.step_ms) as f64 / 1000.0;
+        for r in &summary.replicas {
+            j.record(bass_obs::Event::CampaignReplicaCompleted {
+                t_s: horizon_s,
+                replica: r.replica,
+                ticks: r.ticks,
+                apps_admitted: r.apps_admitted,
+                migrations: r.migrations,
+            });
+        }
+        j.flush().map_err(CommandError::Journal)?;
+    }
+    Ok(summary)
 }
 
 #[cfg(test)]

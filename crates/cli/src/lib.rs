@@ -15,5 +15,7 @@
 pub mod commands;
 pub mod testbed;
 
-pub use commands::{order, place, simulate, PlaceOutcome, SimulateOptions, SimulateOutcome};
+pub use commands::{
+    campaign, order, place, simulate, PlaceOutcome, SimulateOptions, SimulateOutcome,
+};
 pub use testbed::{LinkSpec, NodeSpecJson, RestrictionSpec, TestbedSpec};

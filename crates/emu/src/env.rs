@@ -100,6 +100,8 @@ pub enum EnvError {
     UnknownComponent(ComponentId),
     /// The application was not deployed yet.
     NotDeployed,
+    /// Growing the deployment DAG failed (id collision on admission).
+    Dag(bass_appdag::DagError),
 }
 
 impl fmt::Display for EnvError {
@@ -109,6 +111,7 @@ impl fmt::Display for EnvError {
             EnvError::Mesh(e) => write!(f, "mesh operation failed: {e}"),
             EnvError::UnknownComponent(c) => write!(f, "unknown component {c}"),
             EnvError::NotDeployed => write!(f, "application is not deployed"),
+            EnvError::Dag(e) => write!(f, "deployment dag rejected the app: {e}"),
         }
     }
 }
@@ -118,6 +121,7 @@ impl Error for EnvError {
         match self {
             EnvError::Schedule(e) => Some(e),
             EnvError::Mesh(e) => Some(e),
+            EnvError::Dag(e) => Some(e),
             _ => None,
         }
     }
@@ -298,6 +302,13 @@ impl SimEnv {
         }
         let pinned: BTreeSet<ComponentId> = pins.iter().map(|&(c, _)| c).collect();
         let scheduler = BassScheduler::new(self.cfg.policy);
+        // An empty DAG deploys trivially — the churning-scenario entry
+        // point: start with nothing and admit app instances as they
+        // arrive. The heuristics reject empty graphs, so skip them.
+        if self.dag.component_count() == 0 {
+            self.deployed = true;
+            return Ok(self.cluster.placement());
+        }
         match self.cfg.policy {
             SchedulerPolicy::K3sDefault(policy) => {
                 let mut baseline = bass_cluster::BaselineScheduler::new(policy);
@@ -415,6 +426,160 @@ impl SimEnv {
         for (f, t) in keys {
             self.set_edge_demand_factor(f, t, factor);
         }
+    }
+
+    /// Admits a new application instance into the running deployment:
+    /// absorbs `app` into the deployment DAG with all component ids
+    /// shifted by `id_offset` (names prefixed `"<app name>/"`), schedules
+    /// the new components with the configured policy, and binds their
+    /// edges. The rest of the deployment is untouched — this is the
+    /// mid-run Poisson-arrival path of churning scenarios, not a
+    /// redeploy. Returns the new (shifted) component ids.
+    ///
+    /// On a scheduling failure the admission rolls back completely
+    /// (components evicted and removed from the DAG) and the error is
+    /// returned — the scenario counts it as a rejected arrival.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::NotDeployed`] before [`SimEnv::deploy`];
+    /// [`EnvError::Dag`] when `id_offset` collides with existing
+    /// components; [`EnvError::Schedule`] when the cluster cannot host
+    /// the instance.
+    pub fn admit_app(
+        &mut self,
+        app: &AppDag,
+        id_offset: u32,
+    ) -> Result<Vec<ComponentId>, EnvError> {
+        if !self.deployed {
+            return Err(EnvError::NotDeployed);
+        }
+        let prefix = format!("{}/", app.name());
+        let added = self
+            .dag
+            .absorb(app, id_offset, &prefix)
+            .map_err(EnvError::Dag)?;
+        let result = (|| -> Result<(), EnvError> {
+            match self.cfg.policy {
+                SchedulerPolicy::K3sDefault(policy) => {
+                    let mut baseline = bass_cluster::BaselineScheduler::new(policy);
+                    for &c in &added {
+                        let resources =
+                            self.dag.component(c).expect("just absorbed").resources;
+                        let node = baseline
+                            .pick_node(&self.cluster, resources)
+                            .map_err(|e| EnvError::Schedule(ScheduleError::Baseline(e)))?;
+                        self.cluster
+                            .place(c, resources, node)
+                            .map_err(|e| EnvError::Schedule(ScheduleError::Baseline(e)))?;
+                    }
+                }
+                _ => {
+                    // Order the fragment on its own shape, then shift the
+                    // ids into deployment space before packing.
+                    let scheduler = BassScheduler::new(self.cfg.policy);
+                    let ordering = scheduler.ordering(app)?;
+                    let shifted = ComponentOrdering::new(
+                        ordering
+                            .groups()
+                            .iter()
+                            .map(|g| {
+                                g.iter().map(|c| ComponentId(c.0 + id_offset)).collect()
+                            })
+                            .collect(),
+                    );
+                    pack_ordering(&shifted, &self.dag, &mut self.cluster, &self.mesh)
+                        .map_err(|e| EnvError::Schedule(ScheduleError::Placement(e)))?;
+                }
+            }
+            for e in app.edges() {
+                self.bind_edge(
+                    ComponentId(e.from.0 + id_offset),
+                    ComponentId(e.to.0 + id_offset),
+                )?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            for &c in &added {
+                // Tear down any flows bound before the failure.
+                let touching: Vec<_> = self
+                    .edges
+                    .keys()
+                    .filter(|&&(a, b)| a == c || b == c)
+                    .copied()
+                    .collect();
+                for key in touching {
+                    if let Some(EdgeState::Remote(f)) = self.edges.remove(&key) {
+                        let _ = self.mesh.remove_flow(f);
+                    }
+                }
+                let _ = self.cluster.evict(c);
+                self.dag.remove_component(c);
+            }
+            return Err(e);
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.record(bass_obs::Event::AppAdmitted {
+                t_s: self.mesh.now().as_secs_f64(),
+                app: app.name().to_string(),
+                components: added.len() as u32,
+            });
+        }
+        Ok(added)
+    }
+
+    /// Retires a running application instance: removes its mesh flows,
+    /// evicts its components from the cluster, deletes them (and their
+    /// edges) from the deployment DAG, and clears every per-component
+    /// trace the environment keeps (restart clocks, demand factors,
+    /// displaced markers, goodput measurements). `label` is the instance
+    /// name recorded in the journal.
+    ///
+    /// Unknown ids are skipped silently so a scenario can retire an
+    /// instance whose admission was partially rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::NotDeployed`] before [`SimEnv::deploy`].
+    pub fn retire_app(
+        &mut self,
+        label: &str,
+        components: &[ComponentId],
+    ) -> Result<(), EnvError> {
+        if !self.deployed {
+            return Err(EnvError::NotDeployed);
+        }
+        let mut removed = 0u32;
+        for &c in components {
+            let touching: Vec<(ComponentId, ComponentId)> = self
+                .edges
+                .keys()
+                .filter(|&&(a, b)| a == c || b == c)
+                .copied()
+                .collect();
+            for key in touching {
+                if let Some(EdgeState::Remote(f)) = self.edges.remove(&key) {
+                    let _ = self.mesh.remove_flow(f);
+                }
+            }
+            let _ = self.cluster.evict(c);
+            if self.dag.remove_component(c) {
+                removed += 1;
+            }
+            self.restarts.remove(&c);
+            self.displaced.remove(&c);
+            self.demand_factor.retain(|&(a, b), _| a != c && b != c);
+            self.goodput.forget_touching(c);
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.record(bass_obs::Event::AppRetired {
+                t_s: self.mesh.now().as_secs_f64(),
+                app: label.to_string(),
+                components: removed,
+            });
+        }
+        Ok(())
     }
 
     /// Advances the environment by one step.
@@ -866,6 +1031,72 @@ mod tests {
             ..Default::default()
         };
         SimEnv::new(mesh, cluster, catalog::camera_pipeline(), cfg)
+    }
+
+    #[test]
+    fn empty_dag_deploys_and_admits_apps_mid_run() {
+        let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(3), mbps(100.0)).unwrap();
+        let cluster = Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 24, 32768))).unwrap();
+        let mut env = SimEnv::new(mesh, cluster, AppDag::new("city"), SimEnvConfig::default());
+        // Admission before deploy is refused.
+        assert!(matches!(
+            env.admit_app(&catalog::camera_pipeline(), 1000),
+            Err(EnvError::NotDeployed)
+        ));
+        env.deploy(&[]).unwrap();
+        env.step().unwrap();
+
+        let added = env.admit_app(&catalog::camera_pipeline(), 1000).unwrap();
+        assert_eq!(added.len(), 5);
+        assert_eq!(env.dag().component_count(), 5);
+        assert!(env.dag().component(ComponentId(1001)).is_some());
+        // All components placed, edges bound (local or remote).
+        for &c in &added {
+            assert!(env.placement().contains_key(&c));
+        }
+        env.run_for(SimDuration::from_secs(2), |_| {}).unwrap();
+
+        // A second instance of the same shape under a different offset.
+        let added2 = env.admit_app(&catalog::camera_pipeline(), 2000).unwrap();
+        assert_eq!(env.dag().component_count(), 10);
+        // Colliding offset rolls back without touching what's running.
+        assert!(matches!(
+            env.admit_app(&catalog::camera_pipeline(), 1000),
+            Err(EnvError::Dag(_))
+        ));
+        assert_eq!(env.dag().component_count(), 10);
+
+        env.retire_app("camera-0", &added).unwrap();
+        assert_eq!(env.dag().component_count(), 5);
+        for &c in &added {
+            assert!(!env.placement().contains_key(&c));
+        }
+        // The survivor keeps running fine.
+        env.run_for(SimDuration::from_secs(2), |_| {}).unwrap();
+        for e in env.dag().clone().edges() {
+            assert!((env.edge_achieved(e.from, e.to).as_mbps() - e.bandwidth.as_mbps()).abs() < 1e-6);
+        }
+        drop(added2);
+    }
+
+    #[test]
+    fn rejected_admission_rolls_back_cleanly() {
+        // A cluster too small for the social network: admission must fail
+        // and leave zero residue (components, flows, placements).
+        let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(2), mbps(100.0)).unwrap();
+        let cluster = Cluster::new((0..2).map(|i| NodeSpec::cores_mb(i, 2, 2048))).unwrap();
+        let mut env = SimEnv::new(mesh, cluster, AppDag::new("city"), SimEnvConfig::default());
+        env.deploy(&[]).unwrap();
+        let flows_before = env.mesh().flow_count();
+        assert!(matches!(
+            env.admit_app(&catalog::social_network(50.0), 5000),
+            Err(EnvError::Schedule(_))
+        ));
+        assert_eq!(env.dag().component_count(), 0);
+        assert!(env.placement().is_empty());
+        assert_eq!(env.mesh().flow_count(), flows_before);
+        // The environment still steps.
+        env.run_for(SimDuration::from_secs(1), |_| {}).unwrap();
     }
 
     #[test]

@@ -147,6 +147,17 @@ pub struct StormProfile {
     pub links: Vec<(NodeId, NodeId)>,
 }
 
+impl StormProfile {
+    /// Makes every node and link of `topo` eligible for this storm,
+    /// replacing the current target lists. Scenario generators use this
+    /// to aim a rate-only profile at a freshly synthesized topology.
+    pub fn targeting(mut self, topo: &bass_mesh::Topology) -> Self {
+        self.nodes = topo.nodes().collect();
+        self.links = topo.links().map(|(_, l)| (l.a, l.b)).collect();
+        self
+    }
+}
+
 impl Default for StormProfile {
     fn default() -> Self {
         StormProfile {

@@ -226,6 +226,139 @@ impl Topology {
             .collect()
     }
 
+    /// Builds a `width × height` grid: node `y * width + x` links to its
+    /// right and down neighbors. The natural shape of a planned city-block
+    /// deployment where each rooftop router only reaches its four
+    /// immediate neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `height == 0`.
+    pub fn grid(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "grid needs positive dimensions");
+        let mut topo = Topology::new();
+        for i in 0..width * height {
+            topo.add_node(NodeId(i)).expect("fresh node");
+        }
+        for y in 0..height {
+            for x in 0..width {
+                let n = y * width + x;
+                if x + 1 < width {
+                    topo.add_link(NodeId(n), NodeId(n + 1)).expect("fresh link");
+                }
+                if y + 1 < height {
+                    topo.add_link(NodeId(n), NodeId(n + width)).expect("fresh link");
+                }
+            }
+        }
+        topo
+    }
+
+    /// Builds a hub-and-spoke mesh: `hubs` backbone nodes (ids
+    /// `0..hubs`) fully meshed with each other, plus `leaves_per_hub`
+    /// leaf nodes hanging off every hub — the shape of a community mesh
+    /// where a few well-placed gateways carry the backbone and houses
+    /// associate to the nearest one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hubs == 0`.
+    pub fn hub_and_spoke(hubs: u32, leaves_per_hub: u32) -> Self {
+        assert!(hubs > 0, "need at least one hub");
+        let mut topo = Topology::new();
+        for i in 0..hubs * (1 + leaves_per_hub) {
+            topo.add_node(NodeId(i)).expect("fresh node");
+        }
+        for a in 0..hubs {
+            for b in (a + 1)..hubs {
+                topo.add_link(NodeId(a), NodeId(b)).expect("fresh link");
+            }
+        }
+        for hub in 0..hubs {
+            for leaf in 0..leaves_per_hub {
+                let id = hubs + hub * leaves_per_hub + leaf;
+                topo.add_link(NodeId(hub), NodeId(id)).expect("fresh link");
+            }
+        }
+        topo
+    }
+
+    /// Builds a random-geometric mesh: `n` nodes dropped uniformly on the
+    /// unit square, linked when within `radius` of each other — the
+    /// standard generative model for organically grown community Wi-Fi
+    /// deployments. Drawn deterministically from `rng`; if the radius
+    /// leaves the graph partitioned, the closest pair of nodes across
+    /// each partition boundary is bridged (a directional antenna link)
+    /// so the result is always connected.
+    ///
+    /// Returns the topology together with each node's `(x, y)` position
+    /// (indexed by node id), which callers can reuse for distance-based
+    /// capacity assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `radius` is not positive.
+    pub fn random_geometric(
+        n: u32,
+        radius: f64,
+        rng: &mut bass_util::rng::SimRng,
+    ) -> (Self, Vec<(f64, f64)>) {
+        assert!(n > 0, "need at least one node");
+        assert!(radius > 0.0, "radius must be positive");
+        let mut topo = Topology::new();
+        let mut pos = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            topo.add_node(NodeId(i)).expect("fresh node");
+            pos.push((rng.next_f64(), rng.next_f64()));
+        }
+        let dist2 = |a: usize, b: usize| -> f64 {
+            let (ax, ay) = pos[a];
+            let (bx, by) = pos[b];
+            (ax - bx).powi(2) + (ay - by).powi(2)
+        };
+        let r2 = radius * radius;
+        for a in 0..n as usize {
+            for b in (a + 1)..n as usize {
+                if dist2(a, b) <= r2 {
+                    topo.add_link(NodeId(a as u32), NodeId(b as u32)).expect("fresh link");
+                }
+            }
+        }
+        // Bridge partitions deterministically: while disconnected, link
+        // the closest (component-of-node-0, rest) pair, ties broken by
+        // lowest ids.
+        while !topo.is_connected() {
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![NodeId(0)];
+            seen.insert(NodeId(0));
+            while let Some(v) = stack.pop() {
+                for nb in topo.neighbors(v) {
+                    if seen.insert(nb) {
+                        stack.push(nb);
+                    }
+                }
+            }
+            let mut best: Option<(f64, NodeId, NodeId)> = None;
+            for a in topo.nodes().filter(|a| seen.contains(a)) {
+                for b in topo.nodes().filter(|b| !seen.contains(b)) {
+                    let d = dist2(a.0 as usize, b.0 as usize);
+                    let better = match best {
+                        None => true,
+                        Some((bd, ba, bb)) => {
+                            d < bd - 1e-15 || ((d - bd).abs() <= 1e-15 && (a, b) < (ba, bb))
+                        }
+                    };
+                    if better {
+                        best = Some((d, a, b));
+                    }
+                }
+            }
+            let (_, a, b) = best.expect("disconnected graph has a crossing pair");
+            topo.add_link(a, b).expect("crossing pair is unlinked");
+        }
+        (topo, pos)
+    }
+
     /// True when every node can reach every other node. An empty topology
     /// counts as connected.
     pub fn is_connected(&self) -> bool {
@@ -264,6 +397,43 @@ mod tests {
         assert_eq!(topo.neighbors(NodeId(1)), vec![NodeId(2)]);
         assert_eq!(topo.node_count(), 3);
         assert_eq!(topo.link_count(), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let topo = Topology::grid(3, 2);
+        assert_eq!(topo.node_count(), 6);
+        // 2 rows of 2 horizontal links + 3 vertical links.
+        assert_eq!(topo.link_count(), 2 * 2 + 3);
+        assert!(topo.is_connected());
+        // Corner node 0 has exactly right + down neighbors.
+        assert_eq!(topo.neighbors(NodeId(0)), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn hub_and_spoke_shape() {
+        let topo = Topology::hub_and_spoke(3, 4);
+        assert_eq!(topo.node_count(), 3 * 5);
+        // Hub backbone 3 links + 12 leaf links.
+        assert_eq!(topo.link_count(), 3 + 12);
+        assert!(topo.is_connected());
+        // Leaves have exactly one neighbor: their hub.
+        assert_eq!(topo.neighbors(NodeId(3)), vec![NodeId(0)]);
+        assert_eq!(topo.neighbors(NodeId(14)), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn random_geometric_connected_and_deterministic() {
+        let mut rng = bass_util::rng::SimRng::seed_from_u64(7);
+        let (topo, pos) = Topology::random_geometric(60, 0.08, &mut rng);
+        assert_eq!(topo.node_count(), 60);
+        assert_eq!(pos.len(), 60);
+        // Radius 0.08 on 60 nodes leaves partitions; bridging must fix them.
+        assert!(topo.is_connected());
+        let mut rng2 = bass_util::rng::SimRng::seed_from_u64(7);
+        let (topo2, pos2) = Topology::random_geometric(60, 0.08, &mut rng2);
+        assert_eq!(topo, topo2);
+        assert_eq!(pos, pos2);
     }
 
     #[test]

@@ -115,6 +115,14 @@ impl GoodputMonitor {
     pub fn expire_before(&mut self, cutoff: SimTime) {
         self.edges.retain(|_, u| u.measured_at >= cutoff);
     }
+
+    /// Drops every measurement with `component` at either end — a retired
+    /// app instance must not leave goodput ghosts behind for the
+    /// controller to chase.
+    pub fn forget_touching(&mut self, component: ComponentId) {
+        self.edges
+            .retain(|&(f, t), _| f != component && t != component);
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +184,17 @@ mod tests {
         m.expire_before(SimTime::from_secs(30));
         assert_eq!(m.len(), 1);
         assert!(m.usage(ComponentId(2), ComponentId(3)).is_some());
+    }
+
+    #[test]
+    fn forget_touching_drops_both_directions() {
+        let mut m = GoodputMonitor::new();
+        m.record(ComponentId(1), ComponentId(2), mbps(1.0), mbps(1.0), SimTime::ZERO);
+        m.record(ComponentId(2), ComponentId(3), mbps(1.0), mbps(1.0), SimTime::ZERO);
+        m.record(ComponentId(3), ComponentId(4), mbps(1.0), mbps(1.0), SimTime::ZERO);
+        m.forget_touching(ComponentId(2));
+        assert_eq!(m.len(), 1);
+        assert!(m.usage(ComponentId(3), ComponentId(4)).is_some());
     }
 
     #[test]

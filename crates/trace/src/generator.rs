@@ -222,9 +222,51 @@ impl OuTraceConfig {
     }
 }
 
+/// Generates one trace per config into a [`TraceBundle`](crate::trace::TraceBundle),
+/// keyed by each config's name, with per-trace seeds forked
+/// deterministically from `seed` in config order. The scenario generator
+/// names its configs with
+/// [`TraceBundle::link_key`](crate::trace::TraceBundle::link_key) so the
+/// bundle maps straight onto a mesh.
+pub fn ou_bundle(
+    configs: &[OuTraceConfig],
+    seed: u64,
+    duration: SimDuration,
+) -> crate::trace::TraceBundle {
+    let mut root = SimRng::seed_from_u64(seed);
+    let mut bundle = crate::trace::TraceBundle::new();
+    for (i, cfg) in configs.iter().enumerate() {
+        let trace_seed = root.fork(i as u64).next_u64();
+        bundle.insert(cfg.name.clone(), cfg.generate(trace_seed, duration));
+    }
+    bundle
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::TraceBundle;
+
+    #[test]
+    fn ou_bundle_is_keyed_and_deterministic() {
+        let configs = vec![
+            OuTraceConfig::new(TraceBundle::link_key(0, 1), 20.0),
+            OuTraceConfig::new(TraceBundle::link_key(1, 2), 7.62).relative_std(0.27),
+        ];
+        let a = ou_bundle(&configs, 9, SimDuration::from_secs(120));
+        let b = ou_bundle(&configs, 9, SimDuration::from_secs(120));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get_link(1, 0).unwrap(), b.get_link(0, 1).unwrap());
+        assert_eq!(
+            a.get_link(2, 1).unwrap().samples().len(),
+            b.get_link(1, 2).unwrap().samples().len()
+        );
+        // Different streams: the two links must not share a sample path.
+        assert_ne!(
+            a.get_link(0, 1).unwrap().samples()[0].1,
+            a.get_link(1, 2).unwrap().samples()[0].1
+        );
+    }
 
     #[test]
     fn ou_process_reverts_to_mean() {

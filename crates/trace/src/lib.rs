@@ -24,6 +24,6 @@ pub mod script;
 pub mod trace;
 
 pub use citylab::{citylab_bundle, citylab_topology_links, CitylabLink};
-pub use generator::{OuProcess, OuTraceConfig};
+pub use generator::{ou_bundle, OuProcess, OuTraceConfig};
 pub use script::StepScript;
 pub use trace::{BandwidthTrace, TraceBundle};

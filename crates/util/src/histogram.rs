@@ -101,6 +101,28 @@ impl Histogram {
         self.total
     }
 
+    /// Folds another histogram's counts into this one — how campaign
+    /// replicas combine their streaming distributions without retaining
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both histograms share the same range and bucket
+    /// count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi
+                && self.buckets.len() == other.buckets.len(),
+            "merged histograms must share their bucket layout"
+        );
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
     /// Approximate quantile from bucket midpoints (underflow maps to `lo`,
     /// overflow to `hi`). Returns 0 for an empty histogram.
     ///
@@ -189,6 +211,28 @@ mod tests {
         let median = h.approx_quantile(0.5);
         assert!((median - 45.0).abs() <= 10.0, "median {median}");
         assert_eq!(Histogram::new(0.0, 1.0, 1).approx_quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        a.record(1.0);
+        a.record(-1.0);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        b.record(1.5);
+        b.record(99.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.bucket_count(0), 2);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket layout")]
+    fn merge_rejects_mismatched_layout() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        a.merge(&Histogram::new(0.0, 10.0, 6));
     }
 
     #[test]

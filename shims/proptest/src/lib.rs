@@ -1,8 +1,8 @@
 //! Offline stand-in for `proptest` implementing the subset this
 //! workspace's property tests use: the [`proptest!`] macro with an
 //! optional `#![proptest_config(...)]` header, range and tuple
-//! strategies, [`any`], `prop_map`, [`collection::vec`], and the
-//! `prop_assert*` macros.
+//! strategies, [`any`], `prop_map`, [`prop_oneof!`], [`prop_assume!`],
+//! [`collection::vec`], and the `prop_assert*` macros.
 //!
 //! Unlike real proptest there is no shrinking and no persisted failure
 //! corpus: cases are generated from a deterministic per-test RNG (seeded
@@ -102,7 +102,35 @@ impl strategy::Strategy for Any<f64> {
 pub mod prelude {
     //! One-stop imports mirroring `proptest::prelude`.
     pub use crate::strategy::Strategy;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, ProptestConfig};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        ProptestConfig,
+    };
+}
+
+/// Uniform choice among same-valued strategies. Real proptest accepts
+/// `weight => strategy` entries; this shim supports the unweighted form
+/// only.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::from_variants(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Discards the current case when the assumption fails. Without real
+/// proptest's rejection bookkeeping this simply skips to the next case,
+/// so properties whose assumptions almost always fail silently run few
+/// effective cases — keep assumptions broad.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
 }
 
 /// Asserts inside a property (plain `assert!` here: no shrinking).

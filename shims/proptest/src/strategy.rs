@@ -84,6 +84,8 @@ impl_tuple_strategy! {
     (A: 0, B: 1, C: 2)
     (A: 0, B: 1, C: 2, D: 3)
     (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
 }
 
 /// A constant strategy (always yields clones of one value).
@@ -95,5 +97,38 @@ impl<T: Clone> Strategy for Just<T> {
 
     fn generate(&self, _rng: &mut TestRng) -> T {
         self.0.clone()
+    }
+}
+
+/// Uniform choice between same-valued strategies — what `prop_oneof!`
+/// builds. Real proptest supports per-variant weights; the tests in this
+/// workspace only use the unweighted form.
+pub struct Union<V> {
+    variants: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from boxed variants (via [`boxed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `variants` is empty.
+    pub fn from_variants(variants: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        Union { variants }
+    }
+}
+
+/// Type-erases a strategy so [`Union`] can hold heterogeneous variants.
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = (rng.next_u64() % self.variants.len() as u64) as usize;
+        self.variants[i].generate(rng)
     }
 }

@@ -22,6 +22,7 @@ pub use bass_faults as faults;
 pub use bass_mesh as mesh;
 pub use bass_netmon as netmon;
 pub use bass_obs as obs;
+pub use bass_scenario as scenario;
 pub use bass_trace as trace;
 pub use bass_util as util;
 

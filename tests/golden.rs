@@ -23,6 +23,9 @@ use serde_json::Value;
 const GOLDEN_PATH: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig13_social_squeeze.json");
 
+const GOLDEN_CAMPAIGN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/campaign_20node.json");
+
 /// Relative tolerance for float comparisons: tight enough to catch real
 /// behaviour drift, loose enough to survive benign reassociation of
 /// float arithmetic in refactors.
@@ -186,6 +189,57 @@ fn fig13_style_trace_matches_golden_snapshot() {
          GOLDEN_UPDATE=1 cargo test --test golden):\n{}",
         diffs.join("\n")
     );
+}
+
+/// The 20-node reference campaign (`ScenarioSpec::small_reference`,
+/// shortened to a test-sized horizon): churn, fades, a mild fault
+/// storm, two replicas. The full summary JSON is the snapshot.
+fn run_campaign_snapshot() -> String {
+    let mut spec = bass::scenario::ScenarioSpec::small_reference();
+    spec.horizon_ticks = 300;
+    bass::scenario::run_campaign(&spec, 20, 2, bass::mesh::AllocEngine::Incremental)
+        .expect("reference campaign runs")
+        .to_json()
+}
+
+#[test]
+fn campaign_20node_matches_golden_snapshot() {
+    let current = run_campaign_snapshot();
+    if std::env::var("GOLDEN_UPDATE").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN_CAMPAIGN_PATH).parent().unwrap())
+            .expect("mkdir tests/golden");
+        std::fs::write(GOLDEN_CAMPAIGN_PATH, &current).expect("write golden snapshot");
+        eprintln!("golden snapshot regenerated at {GOLDEN_CAMPAIGN_PATH}");
+        return;
+    }
+    let golden_text = std::fs::read_to_string(GOLDEN_CAMPAIGN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {GOLDEN_CAMPAIGN_PATH} ({e}); run GOLDEN_UPDATE=1 \
+             cargo test --test golden"
+        )
+    });
+    let golden: Value = serde_json::from_str(&golden_text).expect("golden parses");
+    let got: Value = serde_json::from_str(&current).expect("snapshot parses");
+    let mut diffs = Vec::new();
+    compare("$", &golden, &got, &mut diffs);
+    assert!(
+        diffs.is_empty(),
+        "campaign drifted from golden snapshot (if intentional, regenerate with \
+         GOLDEN_UPDATE=1 cargo test --test golden):\n{}",
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn golden_campaign_exercised_the_control_loop() {
+    // Same tripwire idea as the fig13 snapshot: the campaign must keep
+    // admitting apps and migrating under churn, or the snapshot guards
+    // nothing.
+    let golden_text =
+        std::fs::read_to_string(GOLDEN_CAMPAIGN_PATH).expect("golden snapshot present");
+    let golden: Value = serde_json::from_str(&golden_text).expect("golden parses");
+    assert!(golden["aggregate"]["apps_admitted"].as_f64().expect("admissions") >= 2.0);
+    assert!(golden["aggregate"]["goodput"]["samples"].as_f64().expect("samples") > 0.0);
 }
 
 #[test]
