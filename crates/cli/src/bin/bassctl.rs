@@ -6,12 +6,23 @@
 //! bassctl simulate --manifest app.json --testbed mesh.json [--policy …] [--duration SECS]
 //!                  [--no-migrations] [--seed N] [--json] [--journal events.jsonl]
 //!                  [--faults plan.json] [--engine dense|incremental]
+//!                  [--metrics-out metrics.prom]
 //! bassctl recommend --manifest app.json --testbed mesh.json [--json]
 //! bassctl traces   --testbed mesh.json [--duration SECS] [--seed N]
 //! bassctl campaign --spec scenario.json [--seed N] [--jobs N] [--out summary.json]
 //!                  [--engine dense|incremental] [--journal events.jsonl]
+//!                  [--metrics-out metrics.prom] [--profile]
+//!                  [--progress[=off|info|debug]]
+//! bassctl metrics  --in metrics.prom [--diff other.prom | --lint]
 //! bassctl schema                       # print example input files
 //! ```
+//!
+//! `--metrics-out` writes a Prometheus text-format exposition of the
+//! run's counters, gauges, and per-phase span timings; `--profile`
+//! splices a `profile` section into the campaign summary JSON;
+//! `--progress` reports live replica progress on stderr. None of the
+//! three changes any deterministic output byte (see
+//! `docs/OBSERVABILITY.md`).
 
 use bass_appdag::Manifest;
 use bass_cli::{commands::recommend, commands::traces, order, place, simulate, SimulateOptions, TestbedSpec};
@@ -34,6 +45,12 @@ struct Args {
     journal: Option<String>,
     faults: Option<String>,
     engine: bass_mesh::AllocEngine,
+    metrics_out: Option<String>,
+    profile: bool,
+    progress: bass_obs::ProgressLevel,
+    input: Option<String>,
+    diff: Option<String>,
+    lint: bool,
 }
 
 fn parse_policy(name: &str) -> Result<SchedulerPolicy, String> {
@@ -74,6 +91,12 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         journal: None,
         faults: None,
         engine: bass_mesh::AllocEngine::default(),
+        metrics_out: None,
+        profile: false,
+        progress: bass_obs::ProgressLevel::Off,
+        input: None,
+        diff: None,
+        lint: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or(format!("{name} requires a value"));
@@ -106,6 +129,18 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             "--journal" => args.journal = Some(value("--journal")?),
             "--faults" => args.faults = Some(value("--faults")?),
             "--engine" => args.engine = parse_engine(&value("--engine")?)?,
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--profile" => args.profile = true,
+            "--progress" => args.progress = bass_obs::ProgressLevel::Info,
+            "--in" => args.input = Some(value("--in")?),
+            "--diff" => args.diff = Some(value("--diff")?),
+            "--lint" => args.lint = true,
+            other if other.starts_with("--progress=") => {
+                let level = &other["--progress=".len()..];
+                args.progress = bass_obs::ProgressLevel::parse(level).ok_or(format!(
+                    "unknown progress level '{level}' (expected off, info, or debug)"
+                ))?;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -218,6 +253,7 @@ fn run() -> Result<(), String> {
                     journal: args.journal.clone().map(std::path::PathBuf::from),
                     faults: args.faults.clone().map(std::path::PathBuf::from),
                     engine: args.engine,
+                    metrics_out: args.metrics_out.clone().map(std::path::PathBuf::from),
                 },
             )
             .map_err(|e| e.to_string())?;
@@ -240,6 +276,9 @@ fn run() -> Result<(), String> {
                 if let (Some(n), Some(path)) = (outcome.journal_events, &args.journal) {
                     println!("journal: {n} events -> {path}");
                 }
+                if let Some(path) = &args.metrics_out {
+                    println!("metrics exposition -> {path}");
+                }
             }
             Ok(())
         }
@@ -249,15 +288,22 @@ fn run() -> Result<(), String> {
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let spec = bass_scenario::ScenarioSpec::from_json(&text)
                 .map_err(|e| format!("cannot parse {path}: {e}"))?;
-            let summary = bass_cli::campaign(
-                &spec,
-                args.seed,
-                args.jobs,
-                args.engine,
-                args.journal.as_ref().map(std::path::Path::new),
-            )
-            .map_err(|e| e.to_string())?;
-            let json = summary.to_json();
+            let opts = bass_cli::CampaignCommandOptions {
+                jobs: args.jobs,
+                engine: args.engine,
+                journal: args.journal.clone().map(std::path::PathBuf::from),
+                metrics_out: args.metrics_out.clone().map(std::path::PathBuf::from),
+                profile: args.profile,
+                progress: args.progress,
+            };
+            let run = bass_cli::campaign(&spec, args.seed, &opts).map_err(|e| e.to_string())?;
+            let summary = &run.summary;
+            // The profile section is spliced after the base summary so the
+            // plain summary stays a byte-exact prefix (see docs/OBSERVABILITY.md).
+            let json = match (&run.profiler, args.profile) {
+                (Some(profiler), true) => summary.to_json_with_profile(&profiler.summary()),
+                _ => summary.to_json(),
+            };
             if let Some(out) = &args.out {
                 std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
             }
@@ -283,11 +329,25 @@ fn run() -> Result<(), String> {
                     a.goodput.samples
                 );
                 println!("summary written to {}", args.out.as_deref().unwrap_or("-"));
+                if let Some(path) = &args.metrics_out {
+                    println!("metrics exposition -> {path}");
+                }
             }
             Ok(())
         }
+        "metrics" => {
+            let input = args.input.as_ref().ok_or("--in is required")?;
+            let report = bass_cli::metrics_report(
+                std::path::Path::new(input),
+                args.diff.as_deref().map(std::path::Path::new),
+                args.lint,
+            )
+            .map_err(|e| e.to_string())?;
+            print!("{report}");
+            Ok(())
+        }
         "--help" | "-h" | "help" => {
-            println!("bassctl order|place|simulate|campaign|schema — see crate docs");
+            println!("bassctl order|place|simulate|campaign|metrics|schema — see crate docs");
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),

@@ -30,6 +30,8 @@ pub enum CommandError {
     Faults(String),
     /// A scenario campaign failed (invalid spec or a dead replica).
     Campaign(bass_scenario::CampaignError),
+    /// A metrics exposition file could not be read, written, or parsed.
+    Metrics(String),
 }
 
 impl fmt::Display for CommandError {
@@ -42,6 +44,7 @@ impl fmt::Display for CommandError {
             CommandError::Journal(e) => write!(f, "journal error: {e}"),
             CommandError::Faults(e) => write!(f, "fault plan error: {e}"),
             CommandError::Campaign(e) => write!(f, "campaign error: {e}"),
+            CommandError::Metrics(e) => write!(f, "metrics error: {e}"),
         }
     }
 }
@@ -56,6 +59,7 @@ impl Error for CommandError {
             CommandError::Journal(e) => Some(e),
             CommandError::Faults(_) => None,
             CommandError::Campaign(e) => Some(e),
+            CommandError::Metrics(_) => None,
         }
     }
 }
@@ -166,6 +170,11 @@ pub struct SimulateOptions {
     /// engines produce bit-identical results; `Dense` is the
     /// pre-incremental reference kept for regression comparisons.
     pub engine: bass_mesh::AllocEngine,
+    /// When set, enable span profiling and write a Prometheus
+    /// text-format exposition of the run's metrics registry plus
+    /// per-phase span aggregates to this path (see
+    /// `docs/OBSERVABILITY.md`). Never alters simulation outputs.
+    pub metrics_out: Option<std::path::PathBuf>,
 }
 
 impl Default for SimulateOptions {
@@ -178,6 +187,7 @@ impl Default for SimulateOptions {
             journal: None,
             faults: None,
             engine: bass_mesh::AllocEngine::default(),
+            metrics_out: None,
         }
     }
 }
@@ -236,6 +246,14 @@ pub fn simulate(
         let journal = bass_obs::Journal::with_file(path).map_err(CommandError::Journal)?;
         env.attach_journal(journal);
     }
+    if opts.metrics_out.is_some() {
+        env.enable_span_profiling();
+        if opts.journal.is_none() {
+            // Metrics counters live in the journal registry; attach an
+            // in-memory sink so they accumulate without a file.
+            env.attach_journal(bass_obs::Journal::new());
+        }
+    }
     let initial_placement = env.deploy(&[])?;
     let dag = env.dag().clone();
     let initial = outcome_from(&dag, &initial_placement);
@@ -265,6 +283,24 @@ pub fn simulate(
             }
         })
         .fold(1.0f64, f64::min);
+    let journal = env.take_journal();
+    let profiler = env.take_span_profiler();
+    if let Some(path) = &opts.metrics_out {
+        let metrics = journal.as_ref().map(|j| j.metrics().clone()).unwrap_or_default();
+        let text = bass_obs::prom::render(&metrics, profiler.as_ref());
+        std::fs::write(path, text)
+            .map_err(|e| CommandError::Metrics(format!("{}: {e}", path.display())))?;
+    }
+    // `journal_events` reports only an explicitly requested journal; the
+    // in-memory sink attached for `--metrics-out` stays invisible.
+    let journal_events = if opts.journal.is_some() {
+        journal.map(|mut j| {
+            let _ = j.flush();
+            j.total_recorded()
+        })
+    } else {
+        None
+    };
     Ok(SimulateOutcome {
         initial,
         r#final: final_outcome,
@@ -283,10 +319,7 @@ pub fn simulate(
             .collect(),
         worst_goodput_fraction: worst,
         probe_bytes: env.netmon().overhead().total_bytes().as_bytes(),
-        journal_events: env.take_journal().map(|mut j| {
-            let _ = j.flush();
-            j.total_recorded()
-        }),
+        journal_events,
     })
 }
 
@@ -341,29 +374,69 @@ pub fn traces(
     Ok(out)
 }
 
+/// Options for `bassctl campaign` beyond the spec and seed.
+#[derive(Debug, Clone)]
+pub struct CampaignCommandOptions {
+    /// Worker threads for replica execution (`--jobs`).
+    pub jobs: usize,
+    /// Max-min allocation engine (`--engine dense|incremental`).
+    pub engine: bass_mesh::AllocEngine,
+    /// When set, write one `campaign_replica_completed` event per
+    /// replica to this JSONL path after the run.
+    pub journal: Option<std::path::PathBuf>,
+    /// When set, write a Prometheus text-format exposition of the
+    /// campaign aggregate plus per-phase span aggregates to this path.
+    /// Implies span profiling.
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// Collect span profiles and splice a `profile` section into the
+    /// summary JSON (`--profile`). Never alters the base summary bytes.
+    pub profile: bool,
+    /// Progress reporting level on stderr (`--progress`); excluded from
+    /// all deterministic outputs.
+    pub progress: bass_obs::ProgressLevel,
+}
+
+impl Default for CampaignCommandOptions {
+    fn default() -> Self {
+        CampaignCommandOptions {
+            jobs: 1,
+            engine: bass_mesh::AllocEngine::default(),
+            journal: None,
+            metrics_out: None,
+            profile: false,
+            progress: bass_obs::ProgressLevel::Off,
+        }
+    }
+}
+
 /// `bassctl campaign`: run every replica of a seeded scenario spec (see
-/// `docs/SCENARIOS.md`) and return the streaming campaign summary. With
-/// a journal path, one `campaign_replica_completed` event per replica is
-/// written after the run — campaigns never attach journals inside their
-/// tick loops, which would grow memory with the horizon.
+/// `docs/SCENARIOS.md`) and return the streaming campaign summary plus
+/// any merged span profile. With a journal path, one
+/// `campaign_replica_completed` event per replica is written after the
+/// run — campaigns never attach journals inside their tick loops, which
+/// would grow memory with the horizon.
 ///
 /// # Errors
 ///
 /// Fails on an invalid spec, a replica that cannot run, or an unwritable
-/// journal path.
+/// journal/metrics path.
 pub fn campaign(
     spec: &bass_scenario::ScenarioSpec,
     seed: u64,
-    jobs: usize,
-    engine: bass_mesh::AllocEngine,
-    journal: Option<&std::path::Path>,
-) -> Result<bass_scenario::CampaignSummary, CommandError> {
-    let summary =
-        bass_scenario::run_campaign(spec, seed, jobs, engine).map_err(CommandError::Campaign)?;
-    if let Some(path) = journal {
+    opts: &CampaignCommandOptions,
+) -> Result<bass_scenario::CampaignRun, CommandError> {
+    let scn_opts = bass_scenario::CampaignOptions {
+        jobs: opts.jobs,
+        engine: opts.engine,
+        profile: opts.profile || opts.metrics_out.is_some(),
+        progress: opts.progress,
+    };
+    let run =
+        bass_scenario::run_campaign_opts(spec, seed, &scn_opts).map_err(CommandError::Campaign)?;
+    if let Some(path) = &opts.journal {
         let mut j = bass_obs::Journal::with_file(path).map_err(CommandError::Journal)?;
         let horizon_s = (spec.horizon_ticks * spec.step_ms) as f64 / 1000.0;
-        for r in &summary.replicas {
+        for r in &run.summary.replicas {
             j.record(bass_obs::Event::CampaignReplicaCompleted {
                 t_s: horizon_s,
                 replica: r.replica,
@@ -374,7 +447,83 @@ pub fn campaign(
         }
         j.flush().map_err(CommandError::Journal)?;
     }
-    Ok(summary)
+    if let Some(path) = &opts.metrics_out {
+        let text = bass_obs::prom::render(&campaign_metrics(&run.summary), run.profiler.as_ref());
+        std::fs::write(path, text)
+            .map_err(|e| CommandError::Metrics(format!("{}: {e}", path.display())))?;
+    }
+    Ok(run)
+}
+
+/// Projects a campaign summary's aggregate into the metrics registry so
+/// `--metrics-out` expositions carry campaign totals next to span series.
+fn campaign_metrics(summary: &bass_scenario::CampaignSummary) -> bass_obs::Metrics {
+    let mut m = bass_obs::Metrics::new();
+    let a = &summary.aggregate;
+    m.add("campaign.replicas", summary.replicas.len() as u64);
+    m.add("campaign.ticks", a.ticks);
+    m.add("campaign.apps_admitted", a.apps_admitted);
+    m.add("campaign.apps_rejected", a.apps_rejected);
+    m.add("campaign.apps_retired", a.apps_retired);
+    m.add("campaign.migrations", a.migrations);
+    m.add("campaign.unplaceable", a.unplaceable);
+    m.add("campaign.faults_injected", a.faults_injected as u64);
+    m.set_gauge("campaign.goodput.p50", a.goodput.p50);
+    m.set_gauge("campaign.goodput.p95", a.goodput.p95);
+    m.set_gauge("campaign.goodput.p99", a.goodput.p99);
+    m.set_gauge("campaign.goodput.mean", a.goodput.mean);
+    m.set_gauge("campaign.mean_achieved_mbps", a.mean_achieved_mbps);
+    m
+}
+
+/// `bassctl metrics`: load a Prometheus text-format exposition, lint it,
+/// and either pretty-print a one-line-per-series digest or diff it
+/// against a second exposition.
+///
+/// # Errors
+///
+/// Fails when a file cannot be read or is not parseable exposition text.
+pub fn metrics_report(
+    path: &std::path::Path,
+    diff_against: Option<&std::path::Path>,
+    lint_only: bool,
+) -> Result<String, CommandError> {
+    let read = |p: &std::path::Path| -> Result<String, CommandError> {
+        std::fs::read_to_string(p)
+            .map_err(|e| CommandError::Metrics(format!("{}: {e}", p.display())))
+    };
+    let text = read(path)?;
+    let exp = bass_obs::prom::parse(&text)
+        .map_err(|e| CommandError::Metrics(format!("{}: {e}", path.display())))?;
+    if lint_only {
+        let problems = bass_obs::prom::lint(&text);
+        return if problems.is_empty() {
+            Ok(format!("{}: ok\n", path.display()))
+        } else {
+            Err(CommandError::Metrics(format!(
+                "{}: {} lint problem(s):\n{}",
+                path.display(),
+                problems.len(),
+                problems.join("\n")
+            )))
+        };
+    }
+    if let Some(other) = diff_against {
+        let other_exp = bass_obs::prom::parse(&read(other)?)
+            .map_err(|e| CommandError::Metrics(format!("{}: {e}", other.display())))?;
+        let lines = bass_obs::prom::diff(&exp, &other_exp);
+        return Ok(if lines.is_empty() {
+            "no differences\n".to_string()
+        } else {
+            format!("{}\n", lines.join("\n"))
+        });
+    }
+    // Pretty-print: one `series value` line per sample, name-sorted.
+    let mut out = String::new();
+    for (series, value) in exp.series_map() {
+        out.push_str(&format!("{series} {value}\n"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -460,6 +609,7 @@ mod tests {
                 journal: None,
                 faults: None,
                 engine: bass_mesh::AllocEngine::default(),
+                metrics_out: None,
             },
         )
         .unwrap();

@@ -16,6 +16,7 @@ pub mod commands;
 pub mod testbed;
 
 pub use commands::{
-    campaign, order, place, simulate, PlaceOutcome, SimulateOptions, SimulateOutcome,
+    campaign, metrics_report, order, place, simulate, CampaignCommandOptions, PlaceOutcome,
+    SimulateOptions, SimulateOutcome,
 };
 pub use testbed::{LinkSpec, NodeSpecJson, RestrictionSpec, TestbedSpec};

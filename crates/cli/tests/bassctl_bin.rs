@@ -213,6 +213,170 @@ fn simulate_rejects_unreadable_fault_plan() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Writes a shrunk small-reference scenario spec for fast campaigns.
+fn write_campaign_spec(dir: &std::path::Path, horizon_ticks: u64) -> std::path::PathBuf {
+    let mut spec = bass_scenario::ScenarioSpec::small_reference();
+    spec.horizon_ticks = horizon_ticks;
+    let path = dir.join("spec.json");
+    std::fs::write(&path, spec.to_json()).expect("write spec");
+    path
+}
+
+#[test]
+fn campaign_metrics_exposition_is_lint_clean_with_tick_phase_spans() {
+    let dir = temp_dir("metrics");
+    let spec = write_campaign_spec(&dir, 120);
+    let metrics = dir.join("m.prom");
+    let out = bassctl()
+        .args(["campaign", "--spec"])
+        .arg(&spec)
+        .args(["--jobs", "2", "--progress"])
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .arg("--out")
+        .arg(dir.join("summary.json"))
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // `--progress` narrates on stderr without polluting stdout.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("replica"));
+
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    // Campaign aggregate counters and per-phase span series are present:
+    // at least six distinct tick phases, each with buckets+sum+count.
+    assert!(text.contains("bass_campaign_ticks_total"));
+    assert!(text.contains("bass_campaign_goodput_p95"));
+    for phase in [
+        "tick.faults",
+        "tick.scenario",
+        "tick.demand",
+        "tick.goodput",
+        "tick.controller",
+        "tick.finalize",
+    ] {
+        let label = format!("span=\"{phase}\"");
+        assert!(text.contains(&label), "missing span series for {phase}");
+        assert!(
+            text.contains(&format!("bass_span_duration_seconds_count{{{label}}}")),
+            "missing histogram count for {phase}"
+        );
+    }
+
+    // The committed lint (same one CI runs) accepts the file.
+    let out = bassctl()
+        .args(["metrics", "--in"])
+        .arg(&metrics)
+        .arg("--lint")
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains(": ok"));
+
+    // Diffing an exposition against itself reports nothing.
+    let out = bassctl()
+        .args(["metrics", "--in"])
+        .arg(&metrics)
+        .arg("--diff")
+        .arg(&metrics)
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "no differences\n");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_observability_never_changes_summary_bytes() {
+    let dir = temp_dir("campaign_bytes");
+    let spec = write_campaign_spec(&dir, 80);
+    let plain = dir.join("plain.json");
+    let observed = dir.join("observed.json");
+    let profiled = dir.join("profiled.json");
+
+    let out = bassctl()
+        .args(["campaign", "--spec"])
+        .arg(&spec)
+        .arg("--out")
+        .arg(&plain)
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Metrics exposition + progress + parallelism: same summary bytes.
+    let out = bassctl()
+        .args(["campaign", "--spec"])
+        .arg(&spec)
+        .args(["--jobs", "3", "--progress=debug"])
+        .arg("--metrics-out")
+        .arg(dir.join("m.prom"))
+        .arg("--out")
+        .arg(&observed)
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let plain_bytes = std::fs::read(&plain).expect("plain summary");
+    assert_eq!(plain_bytes, std::fs::read(&observed).expect("observed summary"));
+
+    // `--profile` splices a profile section after the base summary,
+    // which stays a byte-exact prefix.
+    let out = bassctl()
+        .args(["campaign", "--spec"])
+        .arg(&spec)
+        .arg("--profile")
+        .arg("--out")
+        .arg(&profiled)
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let profiled_text = std::fs::read_to_string(&profiled).expect("profiled summary");
+    let plain_text = String::from_utf8(plain_bytes).expect("utf-8 summary");
+    let base_prefix =
+        plain_text.trim_end().strip_suffix('}').expect("closing brace").trim_end();
+    assert!(profiled_text.starts_with(base_prefix));
+    let parsed: serde_json::Value =
+        serde_json::from_str(&profiled_text).expect("profiled summary parses");
+    assert!(
+        parsed["profile"]["spans"]["tick.finalize"]["count"].as_f64().expect("span count") > 0.0
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_metrics_out_writes_exposition_without_journal() {
+    let dir = temp_dir("sim_metrics");
+    let (app, mesh) = write_schema_files(&dir);
+    let metrics = dir.join("m.prom");
+    let out = bassctl()
+        .args(["simulate", "--manifest"])
+        .arg(&app)
+        .arg("--testbed")
+        .arg(&mesh)
+        .args(["--duration", "60", "--json", "--metrics-out"])
+        .arg(&metrics)
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let parsed: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    // The in-memory sink behind --metrics-out is not a requested journal.
+    assert!(parsed["journal_events"].is_null());
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(text.contains("# TYPE bass_span_duration_seconds histogram"));
+    assert!(text.contains("span=\"tick.controller\""));
+    // Journal event counters ride along (journal-kind counter names are
+    // `obs.event.<kind>`, sanitized to underscores).
+    assert!(text.contains("bass_obs_event_tick_completed_total 600"));
+
+    // And it lints clean.
+    let out = bassctl()
+        .args(["metrics", "--in"])
+        .arg(&metrics)
+        .arg("--lint")
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown command.

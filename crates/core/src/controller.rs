@@ -172,7 +172,29 @@ impl BassController {
         dag: &AppDag,
         cluster: &Cluster,
         pinned: &std::collections::BTreeSet<ComponentId>,
+        journal: Option<&mut bass_obs::Journal>,
+    ) -> ControllerOutcome {
+        self.tick_profiled(mesh, netmon, goodput, dag, cluster, pinned, journal, None)
+    }
+
+    /// [`tick_observed`](Self::tick_observed) that additionally times
+    /// its decision points when a profiler is supplied: the probe passes
+    /// record `netmon.headroom_probe` / `netmon.full_probe`, candidate
+    /// selection (Alg. 3) records `ctl.candidates`, and target selection
+    /// (Alg. 2 per candidate) records `ctl.target_select`. Wall-clock
+    /// readings never feed back into any decision, so outcomes are
+    /// byte-identical with or without the profiler.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tick_profiled(
+        &mut self,
+        mesh: &Mesh,
+        netmon: &mut NetMonitor,
+        goodput: &GoodputMonitor,
+        dag: &AppDag,
+        cluster: &Cluster,
+        pinned: &std::collections::BTreeSet<ComponentId>,
         mut journal: Option<&mut bass_obs::Journal>,
+        mut profiler: Option<&mut bass_obs::SpanProfiler>,
     ) -> ControllerOutcome {
         let now = mesh.now();
         let mut outcome = ControllerOutcome::default();
@@ -180,12 +202,13 @@ impl BassController {
         if !netmon.headroom_probe_due(now) {
             return outcome;
         }
-        let report = netmon.headroom_probe_observed(mesh, journal.as_deref_mut());
+        let report =
+            netmon.headroom_probe_profiled(mesh, journal.as_deref_mut(), profiler.as_deref_mut());
         let newly_violated = !report.newly_violated.is_empty();
         outcome.headroom = Some(report);
 
         if newly_violated && self.cfg.full_probe_on_headroom_drop {
-            netmon.full_probe_observed(mesh, journal.as_deref_mut());
+            netmon.full_probe_profiled(mesh, journal.as_deref_mut(), profiler.as_deref_mut());
             self.full_probes_triggered += 1;
             outcome.full_probe = true;
         }
@@ -194,8 +217,10 @@ impl BassController {
             return outcome;
         }
 
+        let mut clock = bass_obs::PhaseClock::new(profiler.is_some());
         let placement = cluster.placement();
         let candidates = find_candidates(dag, &placement, goodput, mesh, &self.cfg.migration, pinned);
+        clock.lap(profiler.as_deref_mut(), "ctl.candidates");
         if let Some(j) = journal.as_deref_mut() {
             for v in &candidates.violations {
                 let threshold = match v.trigger {
@@ -258,6 +283,7 @@ impl BassController {
                 }
             }
         }
+        clock.lap(profiler, "ctl.target_select");
         outcome.candidates = candidates;
         if !outcome.plans.is_empty() {
             self.last_migration = Some(now);

@@ -176,6 +176,10 @@ pub struct SimEnv {
     deployed: bool,
     stats: EnvStats,
     journal: Option<bass_obs::Journal>,
+    /// Span profiler for wall-clock phase timing. Strictly write-only
+    /// from the simulation's perspective: timings never feed back into
+    /// any decision, so enabling it cannot change simulation results.
+    spans: Option<bass_obs::SpanProfiler>,
     /// Components evicted by a node crash, awaiting re-placement.
     displaced: BTreeSet<ComponentId>,
     /// Probe-loss episodes started so far — each gets its own forked RNG
@@ -207,6 +211,7 @@ impl SimEnv {
             deployed: false,
             stats: EnvStats::default(),
             journal: None,
+            spans: None,
             displaced: BTreeSet::new(),
             probe_loss_episodes: 0,
         }
@@ -265,6 +270,42 @@ impl SimEnv {
         self.journal.as_mut()
     }
 
+    /// Enables span profiling: from now on every [`step`](SimEnv::step)
+    /// records wall-clock durations for its per-tick phases (`tick.*`),
+    /// the mesh allocation interior (`mesh.*`), probe passes
+    /// (`netmon.*`), the controller's decision points (`ctl.*`), and
+    /// churn operations (`env.*`) — see `docs/OBSERVABILITY.md` for the
+    /// span taxonomy. Timings live outside simulation state: results
+    /// and journal contents are byte-identical with profiling on or off.
+    pub fn enable_span_profiling(&mut self) {
+        self.spans = Some(bass_obs::SpanProfiler::new());
+    }
+
+    /// Detaches and returns the span profiler, if profiling was enabled.
+    pub fn take_span_profiler(&mut self) -> Option<bass_obs::SpanProfiler> {
+        self.spans.take()
+    }
+
+    /// The span profiler, if profiling is enabled.
+    pub fn span_profiler(&self) -> Option<&bass_obs::SpanProfiler> {
+        self.spans.as_ref()
+    }
+
+    /// Runs `f` against the environment, recording its wall-clock
+    /// duration as `name` when span profiling is enabled. The profiler
+    /// is parked for the duration of the call, so `f` sees an
+    /// environment without interior `env.*` spans.
+    fn with_span<T>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> T) -> T {
+        let mut spans = self.spans.take();
+        let started = spans.as_ref().map(|_| std::time::Instant::now());
+        let out = f(self);
+        if let (Some(p), Some(t0)) = (spans.as_mut(), started) {
+            p.record(name, t0.elapsed());
+        }
+        self.spans = spans;
+        out
+    }
+
     /// Enables online bandwidth-requirement profiling (the paper's §8
     /// future-work extension): every step, each edge's achieved usage is
     /// fed to an [`OnlineProfiler`]; once enough samples accumulate,
@@ -289,6 +330,10 @@ impl SimEnv {
     /// Fails if a pin is unknown, scheduling fails, or flows cannot be
     /// created.
     pub fn deploy(&mut self, pins: &[(ComponentId, NodeId)]) -> Result<Placement, EnvError> {
+        self.with_span("env.deploy", |env| env.deploy_inner(pins))
+    }
+
+    fn deploy_inner(&mut self, pins: &[(ComponentId, NodeId)]) -> Result<Placement, EnvError> {
         self.netmon
             .full_probe_observed(&self.mesh, self.journal.as_mut());
         for &(cid, node) in pins {
@@ -451,6 +496,14 @@ impl SimEnv {
         app: &AppDag,
         id_offset: u32,
     ) -> Result<Vec<ComponentId>, EnvError> {
+        self.with_span("env.admit_app", |env| env.admit_app_inner(app, id_offset))
+    }
+
+    fn admit_app_inner(
+        &mut self,
+        app: &AppDag,
+        id_offset: u32,
+    ) -> Result<Vec<ComponentId>, EnvError> {
         if !self.deployed {
             return Err(EnvError::NotDeployed);
         }
@@ -547,6 +600,14 @@ impl SimEnv {
         label: &str,
         components: &[ComponentId],
     ) -> Result<(), EnvError> {
+        self.with_span("env.retire_app", |env| env.retire_app_inner(label, components))
+    }
+
+    fn retire_app_inner(
+        &mut self,
+        label: &str,
+        components: &[ComponentId],
+    ) -> Result<(), EnvError> {
         if !self.deployed {
             return Err(EnvError::NotDeployed);
         }
@@ -592,7 +653,26 @@ impl SimEnv {
     ///
     /// Panics if called before [`SimEnv::deploy`].
     pub fn step(&mut self) -> Result<(), EnvError> {
+        // The profiler is parked in a local for the duration of the
+        // tick: `step_inner` borrows it independently of `self`, which
+        // lets the phase clock interleave with `&mut self` phase calls.
+        let mut spans = self.spans.take();
+        let result = self.step_inner(spans.as_mut());
+        self.spans = spans;
+        result
+    }
+
+    /// One tick with per-phase span profiling (the `tick.*` spans; see
+    /// `docs/OBSERVABILITY.md`). Phases that profile their own interior
+    /// — the mesh advance and the controller — receive the profiler and
+    /// are followed by a [`PhaseClock::reset`](bass_obs::PhaseClock) or
+    /// their own enclosing lap.
+    fn step_inner(
+        &mut self,
+        mut profiler: Option<&mut bass_obs::SpanProfiler>,
+    ) -> Result<(), EnvError> {
         assert!(self.deployed, "call deploy() before step()");
+        let mut clock = bass_obs::PhaseClock::new(profiler.is_some());
         // 0. Injected faults due now, then re-placement of components a
         // crash displaced (possible again once capacity recovers).
         let now = self.mesh.now();
@@ -601,6 +681,7 @@ impl SimEnv {
             controller_restarted |= self.apply_fault(fault)?;
         }
         self.replace_displaced()?;
+        clock.lap(profiler.as_deref_mut(), "tick.faults");
 
         // 1. Scenario actions due now.
         let pending_before = self.scenario.remaining();
@@ -610,6 +691,7 @@ impl SimEnv {
                 self.mesh.emit_capacity_changes(j, "scenario");
             }
         }
+        clock.lap(profiler.as_deref_mut(), "tick.scenario");
 
         // 1b. Routing protocol adaptation (ETX-like: expensive links are
         // avoided), independent of — and invisible to — the controller.
@@ -643,9 +725,17 @@ impl SimEnv {
                 self.mesh.set_flow_demand(*f, demand)?;
             }
         }
+        clock.lap(profiler.as_deref_mut(), "tick.demand");
 
-        // 3. Advance the network.
-        self.mesh.advance_observed(self.cfg.step, self.journal.as_mut());
+        // 3. Advance the network. The mesh profiles its own interior
+        // phases (`mesh.*`), so the enclosing clock restarts afterwards
+        // rather than double-attributing that time to a tick phase.
+        self.mesh.advance_profiled(
+            self.cfg.step,
+            self.journal.as_mut(),
+            profiler.as_deref_mut(),
+        );
+        clock.reset();
         let now = self.mesh.now();
 
         // 4. Passive goodput measurement.
@@ -660,11 +750,12 @@ impl SimEnv {
                 profiler.observe(*from, *to, achieved);
             }
         }
+        clock.lap(profiler.as_deref_mut(), "tick.goodput");
 
         // 5. Controller. A restart injected this tick loses the tick: the
         // new controller process comes up after the decision window.
         if self.cfg.migrations_enabled && !controller_restarted {
-            let outcome = self.controller.tick_observed(
+            let outcome = self.controller.tick_profiled(
                 &self.mesh,
                 &mut self.netmon,
                 &self.goodput,
@@ -672,7 +763,9 @@ impl SimEnv {
                 &self.cluster,
                 &self.cfg.pinned,
                 self.journal.as_mut(),
+                profiler.as_deref_mut(),
             );
+            clock.lap(profiler.as_deref_mut(), "tick.controller");
             let plans: Vec<MigrationPlan> = outcome
                 .plans
                 .iter()
@@ -689,6 +782,9 @@ impl SimEnv {
             for plan in plans {
                 self.apply_migration(plan)?;
             }
+            clock.lap(profiler.as_deref_mut(), "tick.migrate");
+        } else {
+            clock.reset();
         }
 
         // 6. Close the tick span.
@@ -700,6 +796,7 @@ impl SimEnv {
                 migrations_total: self.stats.migrations.len() as u64,
             });
         }
+        clock.lap(profiler, "tick.finalize");
         Ok(())
     }
 
@@ -1097,6 +1194,56 @@ mod tests {
         assert_eq!(env.mesh().flow_count(), flows_before);
         // The environment still steps.
         env.run_for(SimDuration::from_secs(1), |_| {}).unwrap();
+    }
+
+    #[test]
+    fn span_profiling_never_changes_simulation_outputs() {
+        // Identical envs, one with span profiling: journals (the full
+        // decision record) must match byte for byte.
+        let run = |profiled: bool| {
+            let mut env = camera_env(SchedulerPolicy::LongestPath);
+            env.attach_journal(bass_obs::Journal::new());
+            if profiled {
+                env.enable_span_profiling();
+            }
+            env.deploy(&[]).unwrap();
+            env.run_for(SimDuration::from_secs(5), |_| {}).unwrap();
+            let journal = env.take_journal().unwrap();
+            (journal.export_jsonl(), env.take_span_profiler())
+        };
+        let (plain_journal, no_profiler) = run(false);
+        let (profiled_journal, profiler) = run(true);
+        assert!(no_profiler.is_none());
+        assert_eq!(plain_journal, profiled_journal);
+
+        // The profiler saw every unconditional tick phase plus the
+        // deploy churn span and the mesh allocation interior.
+        let profiler = profiler.expect("profiler was enabled");
+        for span in [
+            "tick.faults",
+            "tick.scenario",
+            "tick.demand",
+            "tick.goodput",
+            "tick.controller",
+            "tick.migrate",
+            "tick.finalize",
+            "mesh.queues",
+            "mesh.trace_refresh",
+            "mesh.water_fill",
+            "mesh.usage_views",
+            "env.deploy",
+            "netmon.headroom_probe",
+        ] {
+            let stats = profiler
+                .stats(span)
+                .unwrap_or_else(|| panic!("span {span} missing"));
+            assert!(stats.count > 0, "span {span} never completed");
+        }
+        assert_eq!(profiler.stats("env.deploy").unwrap().count, 1);
+        // 5 s at the default step → one instance of each tick phase per tick.
+        let ticks = profiler.stats("tick.finalize").unwrap().count;
+        assert!(ticks >= 5, "expected at least 5 ticks, saw {ticks}");
+        assert_eq!(profiler.stats("tick.faults").unwrap().count, ticks);
     }
 
     #[test]

@@ -692,8 +692,26 @@ impl Mesh {
     /// Advances simulation time by `dt`: refresh capacities, recompute
     /// the fair allocation, and integrate queues.
     pub fn advance(&mut self, dt: SimDuration) {
+        self.advance_profiled(dt, None, None);
+    }
+
+    /// [`advance`](Self::advance) with optional journal emission and span
+    /// profiling. With both `None` this *is* `advance` — the profiler is
+    /// threaded as `Option` so the hot path pays one branch per phase
+    /// and never reads a clock when profiling is off. Spans recorded
+    /// (see `docs/OBSERVABILITY.md`): the `mesh.*` allocation phases via
+    /// [`reallocate_profiled`](Self::reallocate_profiled), plus
+    /// `mesh.queues` (queue integration) and `mesh.obs_emit` (journal
+    /// diffing) here.
+    pub fn advance_profiled(
+        &mut self,
+        dt: SimDuration,
+        journal: Option<&mut bass_obs::Journal>,
+        mut profiler: Option<&mut bass_obs::SpanProfiler>,
+    ) {
         self.now += dt;
-        self.reallocate();
+        self.reallocate_profiled(profiler.as_deref_mut());
+        let mut clock = bass_obs::PhaseClock::new(profiler.is_some());
         // Per-link utilization for the queueing model, derived from the
         // effective capacities `reallocate` just cached (same instant, so
         // no capacity source is queried twice per tick).
@@ -721,15 +739,33 @@ impl Mesh {
                 .fold(0.0f64, f64::max);
             flow.queue.set_path_utilization(rho);
         }
+        clock.lap(profiler.as_deref_mut(), "mesh.queues");
+        if let Some(j) = journal {
+            self.emit_capacity_changes(j, "trace");
+            self.emit_flow_rate_recompute(j);
+            clock.lap(profiler, "mesh.obs_emit");
+        }
     }
 
     /// Recomputes the allocation at the current time without advancing
     /// queues (useful right after changing demands or capacities),
     /// dispatching to the configured [`AllocEngine`].
     pub fn reallocate(&mut self) {
+        self.reallocate_profiled(None);
+    }
+
+    /// [`reallocate`](Self::reallocate) with span profiling. The
+    /// incremental engine records its interior phases
+    /// (`mesh.index_rebuild` when the membership index was dirty,
+    /// `mesh.trace_refresh`, `mesh.water_fill`, `mesh.usage_views`); the
+    /// dense reference engine records one `mesh.dense_realloc` span.
+    pub fn reallocate_profiled(&mut self, profiler: Option<&mut bass_obs::SpanProfiler>) {
         match self.engine {
-            AllocEngine::Dense => self.reallocate_dense(),
-            AllocEngine::Incremental => self.reallocate_incremental(),
+            AllocEngine::Dense => {
+                let _span = bass_obs::SpanProfiler::span(profiler, "mesh.dense_realloc");
+                self.reallocate_dense();
+            }
+            AllocEngine::Incremental => self.reallocate_incremental(profiler),
         }
     }
 
@@ -755,10 +791,12 @@ impl Mesh {
     /// place, run the incremental allocator over the persistent
     /// membership index (rebuilding it only when dirty), and update the
     /// usage views — all without allocating.
-    fn reallocate_incremental(&mut self) {
+    fn reallocate_incremental(&mut self, mut profiler: Option<&mut bass_obs::SpanProfiler>) {
+        let mut clock = bass_obs::PhaseClock::new(profiler.is_some());
         let link_count = self.topo.link_count();
         if self.index.dirty {
             self.index.rebuild(link_count, &self.flows, &self.egress_caps);
+            clock.lap(profiler.as_deref_mut(), "mesh.index_rebuild");
         }
 
         // Refresh constraint capacities; membership is untouched.
@@ -776,6 +814,7 @@ impl Mesh {
                 constraints[link_count + k].capacity = self.egress_caps[node];
             }
         }
+        clock.lap(profiler.as_deref_mut(), "mesh.trace_refresh");
 
         self.fill_demands();
         max_min_allocate_into(
@@ -787,6 +826,7 @@ impl Mesh {
             &mut self.rates_bps,
         );
         self.allocation.assign(&self.index.ids, &self.rates_bps);
+        clock.lap(profiler.as_deref_mut(), "mesh.water_fill");
 
         // Per-link and per-node-egress usage for monitoring. Each link's
         // members are in ascending flow order, so the float accumulation
@@ -804,6 +844,7 @@ impl Mesh {
                 *self.egress_used_bps.entry(node).or_insert(0.0) += self.rates_bps[i];
             }
         }
+        clock.lap(profiler, "mesh.usage_views");
     }
 
     /// The pre-incremental reference path, kept verbatim (fresh buffers,
@@ -876,11 +917,7 @@ impl Mesh {
     /// [`FlowRateRecomputed`](bass_obs::Event::FlowRateRecomputed) event
     /// whenever the allocation picture materially changed.
     pub fn advance_observed(&mut self, dt: SimDuration, journal: Option<&mut bass_obs::Journal>) {
-        self.advance(dt);
-        if let Some(j) = journal {
-            self.emit_capacity_changes(j, "trace");
-            self.emit_flow_rate_recompute(j);
-        }
+        self.advance_profiled(dt, journal, None);
     }
 
     /// Diffs the current effective link capacities against the last

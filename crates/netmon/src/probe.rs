@@ -276,6 +276,18 @@ impl NetMonitor {
     /// [`ProbeCompleted`](Event::ProbeCompleted) event carrying the
     /// probe-traffic cost of this pass (§6.3.4 overhead accounting).
     pub fn full_probe_observed(&mut self, mesh: &Mesh, journal: Option<&mut Journal>) {
+        self.full_probe_profiled(mesh, journal, None);
+    }
+
+    /// [`full_probe_observed`](Self::full_probe_observed) that also
+    /// records a `netmon.full_probe` span when a profiler is supplied.
+    pub fn full_probe_profiled(
+        &mut self,
+        mesh: &Mesh,
+        journal: Option<&mut Journal>,
+        profiler: Option<&mut bass_obs::SpanProfiler>,
+    ) {
+        let _span = bass_obs::SpanProfiler::span(profiler, "netmon.full_probe");
         let before = self.overhead;
         self.full_probe(mesh);
         if let Some(j) = journal {
@@ -299,6 +311,19 @@ impl NetMonitor {
         mesh: &Mesh,
         journal: Option<&mut Journal>,
     ) -> HeadroomReport {
+        self.headroom_probe_profiled(mesh, journal, None)
+    }
+
+    /// [`headroom_probe_observed`](Self::headroom_probe_observed) that
+    /// also records a `netmon.headroom_probe` span when a profiler is
+    /// supplied.
+    pub fn headroom_probe_profiled(
+        &mut self,
+        mesh: &Mesh,
+        journal: Option<&mut Journal>,
+        profiler: Option<&mut bass_obs::SpanProfiler>,
+    ) -> HeadroomReport {
+        let _span = bass_obs::SpanProfiler::span(profiler, "netmon.headroom_probe");
         let before = self.overhead;
         let report = self.headroom_probe(mesh);
         if let Some(j) = journal {

@@ -14,6 +14,7 @@ use crate::spec::{ScenarioSpec, SpecError};
 use bass_appdag::{AppDag, ComponentId};
 use bass_emu::{EnvError, SimEnv, SimEnvConfig};
 use bass_mesh::{AllocEngine, MeshError};
+use bass_obs::{Progress, ProgressLevel, SpanProfiler};
 use bass_util::histogram::Histogram;
 use bass_util::rng::SimRng;
 use bass_util::time::SimDuration;
@@ -195,6 +196,33 @@ impl CampaignSummary {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("summary serializes")
     }
+
+    /// [`to_json`](Self::to_json) with a `profile` section appended as
+    /// the final top-level key.
+    ///
+    /// The profile is spliced in textually rather than carried as a
+    /// summary field: wall-clock timings must never enter the
+    /// deterministic summary struct, and a run without profiling must
+    /// keep producing byte-identical JSON to every previous release
+    /// (the golden snapshots).
+    pub fn to_json_with_profile(&self, profile: &bass_obs::ProfileSummary) -> String {
+        let base = self.to_json();
+        let profile_json =
+            serde_json::to_string_pretty(profile).expect("profile serializes");
+        // Re-indent the profile one level so it nests as a top-level key.
+        let indented = profile_json
+            .lines()
+            .enumerate()
+            .map(|(i, line)| if i == 0 { line.to_string() } else { format!("  {line}") })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let body = base
+            .trim_end()
+            .strip_suffix('}')
+            .expect("pretty summary ends with a closing brace")
+            .trim_end();
+        format!("{body},\n  \"profile\": {indented}\n}}")
+    }
 }
 
 /// Internal per-replica fold state that cannot go in the serializable
@@ -205,6 +233,46 @@ struct ReplicaOutcome {
     goodput_hist: Histogram,
     goodput_sum: f64,
     achieved_sum_mbps: BTreeMap<&'static str, f64>,
+    profiler: Option<SpanProfiler>,
+}
+
+/// How to run a campaign beyond the deterministic `(spec, seed)` pair:
+/// worker threads, allocation engine, span profiling, and live progress
+/// reporting. None of these affect the summary bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignOptions {
+    /// Worker threads sharding replicas (≥1; clamped up from 0).
+    pub jobs: usize,
+    /// Allocation engine for every replica mesh.
+    pub engine: AllocEngine,
+    /// Enable span profiling in every replica; per-span statistics are
+    /// merged in replica order into [`CampaignRun::profiler`].
+    pub profile: bool,
+    /// Live progress reporting to stderr (replicas done, ticks/s, ETA).
+    pub progress: ProgressLevel,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            jobs: 1,
+            engine: AllocEngine::Incremental,
+            profile: false,
+            progress: ProgressLevel::Off,
+        }
+    }
+}
+
+/// A campaign's full result: the deterministic summary plus, when
+/// profiling was requested, the merged cross-replica span profiler.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// The deterministic summary ([`CampaignSummary::to_json`] bytes are
+    /// independent of jobs, profiling, and progress settings).
+    pub summary: CampaignSummary,
+    /// Merged span statistics across all replicas, present iff
+    /// [`CampaignOptions::profile`] was set.
+    pub profiler: Option<SpanProfiler>,
 }
 
 /// Runs a full campaign: `spec.replicas` independent replicas sharded
@@ -222,8 +290,26 @@ pub fn run_campaign(
     jobs: usize,
     engine: AllocEngine,
 ) -> Result<CampaignSummary, CampaignError> {
+    let opts = CampaignOptions { jobs, engine, ..CampaignOptions::default() };
+    Ok(run_campaign_opts(spec, seed, &opts)?.summary)
+}
+
+/// [`run_campaign`] with the full option set: span profiling (merged
+/// across replicas) and live progress reporting. Profiling and progress
+/// never change the summary — the wall clock is read only into the
+/// profiler, and progress writes only to stderr.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_campaign`].
+pub fn run_campaign_opts(
+    spec: &ScenarioSpec,
+    seed: u64,
+    opts: &CampaignOptions,
+) -> Result<CampaignRun, CampaignError> {
     spec.validate()?;
-    let jobs = jobs.max(1);
+    let jobs = opts.jobs.max(1);
+    let engine = opts.engine;
     let replica_count = spec.replicas as usize;
 
     // Fork one seed per replica up front: replica k's scenario never
@@ -232,6 +318,7 @@ pub fn run_campaign(
     let replica_seeds: Vec<u64> =
         (0..replica_count).map(|k| root.fork(100 + k as u64).next_u64()).collect();
 
+    let progress = Progress::new(opts.progress, "replica", replica_count as u64);
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<Result<ReplicaOutcome, CampaignError>>>> =
         Mutex::new((0..replica_count).map(|_| None).collect());
@@ -242,13 +329,17 @@ pub fn run_campaign(
                 if i >= replica_count {
                     break;
                 }
-                let outcome = run_replica(spec, i as u32, replica_seeds[i], engine);
+                let outcome =
+                    run_replica(spec, i as u32, replica_seeds[i], engine, opts.profile);
+                let ticks = outcome.as_ref().map(|o| o.summary.ticks).unwrap_or(0);
                 results.lock().expect("results lock")[i] = Some(outcome);
+                progress.unit_done(i as u64, ticks);
             });
         }
     });
 
     let outcomes = results.into_inner().expect("results lock");
+    let mut campaign_profiler = opts.profile.then(SpanProfiler::new);
     let mut replicas = Vec::with_capacity(replica_count);
     let mut agg_hist = goodput_histogram();
     let mut agg_sum = 0.0;
@@ -264,6 +355,10 @@ pub fn run_campaign(
     let mut achieved_mean_sum = 0.0;
     for slot in outcomes {
         let outcome = slot.expect("every replica index was claimed")?;
+        if let (Some(agg), Some(rep)) = (campaign_profiler.as_mut(), outcome.profiler.as_ref())
+        {
+            agg.merge(rep);
+        }
         agg_hist.merge(&outcome.goodput_hist);
         agg_sum += outcome.goodput_sum;
         agg_samples += outcome.summary.goodput.samples;
@@ -296,14 +391,17 @@ pub fn run_campaign(
         },
         bandwidth_share: shares(&agg_achieved),
     };
-    Ok(CampaignSummary {
-        scenario: spec.name.clone(),
-        seed,
-        engine: engine_label(engine).to_string(),
-        horizon_ticks: spec.horizon_ticks,
-        step_ms: spec.step_ms,
-        replicas,
-        aggregate,
+    Ok(CampaignRun {
+        summary: CampaignSummary {
+            scenario: spec.name.clone(),
+            seed,
+            engine: engine_label(engine).to_string(),
+            horizon_ticks: spec.horizon_ticks,
+            step_ms: spec.step_ms,
+            replicas,
+            aggregate,
+        },
+        profiler: campaign_profiler,
     })
 }
 
@@ -330,6 +428,7 @@ fn run_replica(
     replica: u32,
     replica_seed: u64,
     engine: AllocEngine,
+    profile: bool,
 ) -> Result<ReplicaOutcome, CampaignError> {
     let scenario = generate(spec, replica_seed);
     let horizon = SimDuration::from_millis(spec.horizon_ticks * spec.step_ms);
@@ -343,6 +442,9 @@ fn run_replica(
         ..SimEnvConfig::default()
     };
     let mut env = SimEnv::new(mesh, cluster, AppDag::new(scenario.name.clone()), cfg);
+    if profile {
+        env.enable_span_profiling();
+    }
     env.deploy(&[])?;
 
     let faults_total = env.fault_plan().remaining();
@@ -431,7 +533,13 @@ fn run_replica(
         mean_offered_mbps: if samples == 0 { 0.0 } else { offered_total / samples as f64 },
         bandwidth_share: shares(&achieved_sum_mbps),
     };
-    Ok(ReplicaOutcome { summary, goodput_hist: hist, goodput_sum, achieved_sum_mbps })
+    Ok(ReplicaOutcome {
+        summary,
+        goodput_hist: hist,
+        goodput_sum,
+        achieved_sum_mbps,
+        profiler: env.take_span_profiler(),
+    })
 }
 
 #[cfg(test)]
@@ -467,6 +575,45 @@ mod tests {
         let a = run_campaign(&spec, 9, 1, AllocEngine::Incremental).unwrap();
         let b = run_campaign(&spec, 9, 4, AllocEngine::Incremental).unwrap();
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn profiling_does_not_change_summary_bytes() {
+        let spec = tiny_spec();
+        let plain = run_campaign(&spec, 9, 2, AllocEngine::Incremental).unwrap();
+        let opts = CampaignOptions {
+            jobs: 3,
+            engine: AllocEngine::Incremental,
+            profile: true,
+            progress: ProgressLevel::Off,
+        };
+        let profiled = run_campaign_opts(&spec, 9, &opts).unwrap();
+        assert_eq!(plain.to_json(), profiled.summary.to_json());
+
+        // Every replica contributed: tick.finalize fires once per tick.
+        let profiler = profiled.profiler.expect("profiling was on");
+        let ticks = profiler.stats("tick.finalize").expect("tick spans present");
+        assert_eq!(ticks.count, profiled.summary.aggregate.ticks);
+        assert!(profiler.stats("mesh.water_fill").is_some());
+        assert!(profiler.stats("env.deploy").unwrap().count >= 2, "one deploy per replica");
+    }
+
+    #[test]
+    fn profile_section_splices_into_summary_json() {
+        let spec = tiny_spec();
+        let opts = CampaignOptions { profile: true, ..CampaignOptions::default() };
+        let run = run_campaign_opts(&spec, 3, &opts).unwrap();
+        let profile = run.profiler.as_ref().unwrap().summary();
+        let with_profile = run.summary.to_json_with_profile(&profile);
+        // Still valid JSON, still carrying the original summary fields,
+        // with `profile` as a top-level key.
+        let value: serde_json::Value = serde_json::from_str(&with_profile).unwrap();
+        assert_eq!(value["scenario"].as_str(), Some(spec.name.as_str()));
+        assert!(value["profile"]["spans"]["tick.finalize"]["count"].as_u64().unwrap() > 0);
+        // The splice only appends: the base summary is a strict prefix
+        // up to its closing brace.
+        let base = run.summary.to_json();
+        assert!(with_profile.starts_with(base.trim_end().strip_suffix('}').unwrap().trim_end()));
     }
 
     #[test]

@@ -47,8 +47,8 @@ pub mod generate;
 pub mod spec;
 
 pub use campaign::{
-    run_campaign, AggregateSummary, CampaignError, CampaignSummary, QuantileSummary,
-    ReplicaSummary,
+    run_campaign, run_campaign_opts, AggregateSummary, CampaignError, CampaignOptions,
+    CampaignRun, CampaignSummary, QuantileSummary, ReplicaSummary,
 };
 pub use generate::{
     generate, AppKind, GeneratedNode, GeneratedScenario, WorkloadEvent, INSTANCE_ID_STRIDE,
