@@ -4,17 +4,27 @@
 //! scale [--quick] [--out FILE]
 //! ```
 //!
-//! Times `Mesh::advance` ticks/sec on synthetic grid meshes from 10
-//! nodes × 50 flows up to 500 nodes × 5000 flows, for the incremental
-//! allocation engine and (at sizes where it finishes in reasonable
-//! time) the pre-incremental dense reference engine, then writes the
-//! measurements to `BENCH_mesh.json` (override with `--out`). Both
-//! engines produce bit-identical allocations, so the ratio is a pure
-//! cost comparison — see `docs/PERFORMANCE.md` for how to read it.
+//! Times `Mesh::advance` ticks/sec on a synthetic districted city mesh
+//! from 10 nodes × 50 flows up to 2000 nodes × 20000 flows, for the
+//! incremental engine, the delta engine (serial and sharded), and (at
+//! sizes where it finishes in reasonable time) the pre-incremental
+//! dense reference engine, then writes the measurements to
+//! `BENCH_mesh.json` (override with `--out`). All engines produce
+//! bit-identical allocations, so every ratio is a pure cost comparison
+//! — see `docs/PERFORMANCE.md` for how to read it.
+//!
+//! The workload models the steady state the delta engine is built for
+//! (see `docs/ARCHITECTURE.md`): the grid is sliced into districts,
+//! every flow stays inside its district (so each district is one
+//! constraint component), demands are underloaded (queues stay empty),
+//! and each tick one seeded link-capacity change arrives — the "common
+//! OU-trace tick" of a community mesh, where one link's reported
+//! bandwidth moves and the rest of the city is quiescent.
 //!
 //! `--quick` shrinks the size ladder and the per-point measuring window
-//! to a fraction of a second; CI runs it as a smoke test to keep this
-//! harness from rotting.
+//! to a fraction of a second; CI runs it as a smoke test (and asserts
+//! delta beats incremental at the 500-node rung) to keep this harness
+//! from rotting.
 
 use bass_mesh::mesh::AllocEngine;
 use bass_mesh::{CapacitySource, Mesh, NodeId, Topology};
@@ -28,6 +38,10 @@ use std::process::ExitCode;
 /// workload is identical across runs and engines.
 const SEED: u64 = 0x5CA1E;
 
+/// Nodes per district: the grid is cut into row-bands of roughly this
+/// many nodes, and flows never leave their band.
+const DISTRICT_NODES: usize = 100;
+
 /// One engine's throughput at one mesh size.
 #[derive(Debug, Clone, Serialize)]
 struct EngineResult {
@@ -39,7 +53,7 @@ struct EngineResult {
     ticks_per_sec: f64,
 }
 
-/// Both engines' throughput at one mesh size.
+/// Every engine's throughput at one mesh size.
 #[derive(Debug, Clone, Serialize)]
 struct SizeResult {
     /// Node count of the synthetic grid.
@@ -48,13 +62,22 @@ struct SizeResult {
     flows: usize,
     /// Link count the grid ended up with.
     links: usize,
+    /// Districts the grid was cut into (= constraint components).
+    districts: usize,
     /// The steady-state engine (`AllocEngine::Incremental`).
     incremental: EngineResult,
+    /// The delta engine (`AllocEngine::Delta`), serial.
+    delta: EngineResult,
+    /// The delta engine with a 4-thread sharded component fill; only
+    /// measured where several districts exist to fan out.
+    delta_sharded: Option<EngineResult>,
     /// The pre-incremental reference (`AllocEngine::Dense`); skipped at
     /// sizes where a single dense tick is impractically slow.
     dense: Option<EngineResult>,
     /// `incremental.ticks_per_sec / dense.ticks_per_sec`, when measured.
     speedup: Option<f64>,
+    /// `delta.ticks_per_sec / incremental.ticks_per_sec`.
+    delta_speedup: f64,
 }
 
 /// The whole `BENCH_mesh.json` document.
@@ -92,41 +115,85 @@ fn grid_topology(nodes: usize) -> Topology {
     topo
 }
 
-/// Builds the benchmark mesh for one ladder point: grid topology,
-/// per-link constant capacities drawn from 20–100 Mbps, and `flows`
-/// random-pair flows demanding 0.5–10 Mbps each.
-fn build_mesh(nodes: usize, flows: usize, engine: AllocEngine) -> Mesh {
+/// How many districts an `nodes`-node grid is cut into.
+fn district_count(nodes: usize) -> usize {
+    nodes.div_ceil(DISTRICT_NODES).max(1)
+}
+
+/// The discrete per-flow demand levels, mirroring the paper's three
+/// application classes (camera clip upload, video-conference leg,
+/// social-network sync). Quantized demands matter for speed as well as
+/// realism: each water-filling round freezes every flow at the level it
+/// reaches, so rounds per component stay bounded by the level count
+/// instead of degenerating to one round per distinct demand.
+const DEMAND_LEVELS_MBPS: [f64; 3] = [0.1, 0.15, 0.25];
+
+/// Builds the benchmark mesh for one ladder point: grid topology cut
+/// into row-band districts, per-link constant capacities drawn from
+/// 50–150 Mbps, and `flows` flows at one of [`DEMAND_LEVELS_MBPS`]
+/// whose endpoints stay inside one district. The load is deliberately
+/// light: queues stay empty, so on a tick without a capacity change no
+/// demand moves — the delta engine's quiescent case.
+fn build_mesh(nodes: usize, flows: usize, engine: AllocEngine, jobs: usize) -> Mesh {
     let mut rng = SimRng::seed_from_u64(SEED ^ (nodes as u64) << 16 ^ flows as u64);
     let topo = grid_topology(nodes);
     let link_ids: Vec<_> = topo.links().map(|(lid, l)| (lid, l.a, l.b)).collect();
     let mut mesh = Mesh::new(topo).expect("grid is connected");
     mesh.set_alloc_engine(engine);
+    mesh.set_alloc_jobs(jobs);
     for (_, a, b) in &link_ids {
-        let cap = Bandwidth::from_mbps(rng.uniform(20.0, 100.0));
+        let cap = Bandwidth::from_mbps(rng.uniform(50.0, 150.0));
         mesh.set_link_source(*a, *b, CapacitySource::Constant(cap))
             .expect("link exists");
     }
+    let districts = district_count(nodes);
+    let per_district = nodes.div_ceil(districts);
     for _ in 0..flows {
-        let src = rng.below(nodes as u64) as u32;
-        let mut dst = rng.below(nodes as u64) as u32;
+        let d = rng.below(districts as u64) as usize;
+        let lo = d * per_district;
+        let hi = ((d + 1) * per_district).min(nodes);
+        let span = (hi - lo) as u64;
+        let src = lo as u64 + rng.below(span);
+        let mut dst = lo as u64 + rng.below(span);
         while dst == src {
-            dst = rng.below(nodes as u64) as u32;
+            dst = lo as u64 + rng.below(span);
         }
-        let demand = Bandwidth::from_mbps(rng.uniform(0.5, 10.0));
-        mesh.add_flow(NodeId(src), NodeId(dst), demand).expect("valid endpoints");
+        let demand = Bandwidth::from_mbps(
+            DEMAND_LEVELS_MBPS[rng.below(DEMAND_LEVELS_MBPS.len() as u64) as usize],
+        );
+        mesh.add_flow(NodeId(src as u32), NodeId(dst as u32), demand)
+            .expect("valid endpoints");
     }
     mesh
 }
 
 /// Ticks `mesh` for at least `window_s` wall-clock seconds (after a
-/// short warmup) and reports the achieved tick rate.
-fn measure(mut mesh: Mesh, step: SimDuration, window_s: f64) -> EngineResult {
+/// short warmup) and reports the achieved tick rate. Each tick first
+/// applies one seeded link-capacity change (`tc`-style cap between 30
+/// and 120 Mbps, sometimes above the link's base rate and therefore
+/// inert) — the sparse-perturbation regime the delta engine targets.
+/// The perturbation stream depends only on the seed and the tick index,
+/// so every engine replays the identical workload.
+fn measure(mut mesh: Mesh, nodes: usize, step: SimDuration, window_s: f64) -> EngineResult {
+    let links: Vec<(NodeId, NodeId)> = mesh
+        .topology()
+        .links()
+        .map(|(_, l)| (l.a, l.b))
+        .collect();
+    let mut rng = SimRng::seed_from_u64(SEED ^ 0xD15F ^ nodes as u64);
+    let perturb = |mesh: &mut Mesh, rng: &mut SimRng| {
+        let (a, b) = links[rng.below(links.len() as u64) as usize];
+        let cap = Bandwidth::from_mbps(rng.uniform(30.0, 120.0));
+        mesh.set_link_cap(a, b, Some(cap)).expect("link exists");
+    };
     for _ in 0..3 {
+        perturb(&mut mesh, &mut rng);
         mesh.advance(step);
     }
     let started = std::time::Instant::now();
     let mut ticks = 0u64;
     loop {
+        perturb(&mut mesh, &mut rng);
         mesh.advance(step);
         ticks += 1;
         let elapsed = started.elapsed().as_secs_f64();
@@ -167,12 +234,20 @@ fn main() -> ExitCode {
 
     // The dense path is O(links × flows × path-len) per tick, so above
     // 100 nodes a single dense point would dominate the whole run; the
-    // incremental ladder keeps going to show the trend.
+    // incremental and delta ladders keep going to show the trend.
     let (ladder, window_s, dense_max_nodes): (&[(usize, usize)], f64, usize) = if quick {
-        (&[(10, 50), (100, 1000)], 0.05, 100)
+        (&[(10, 50), (100, 1000), (500, 5000)], 0.05, 100)
     } else {
         (
-            &[(10, 50), (50, 500), (100, 1000), (200, 2000), (500, 5000)],
+            &[
+                (10, 50),
+                (50, 500),
+                (100, 1000),
+                (200, 2000),
+                (500, 5000),
+                (1000, 10000),
+                (2000, 20000),
+            ],
             1.0,
             100,
         )
@@ -181,25 +256,48 @@ fn main() -> ExitCode {
 
     let mut sizes = Vec::new();
     for &(nodes, flows) in ladder {
-        let mesh = build_mesh(nodes, flows, AllocEngine::Incremental);
+        let mesh = build_mesh(nodes, flows, AllocEngine::Incremental, 1);
         let links = mesh.topology().link_count();
-        let incremental = measure(mesh, step, window_s);
+        let districts = district_count(nodes);
+        let incremental = measure(mesh, nodes, step, window_s);
+        let delta = measure(build_mesh(nodes, flows, AllocEngine::Delta, 1), nodes, step, window_s);
+        let delta_sharded = (districts > 1).then(|| {
+            measure(build_mesh(nodes, flows, AllocEngine::Delta, 4), nodes, step, window_s)
+        });
         let dense = (nodes <= dense_max_nodes).then(|| {
-            measure(build_mesh(nodes, flows, AllocEngine::Dense), step, window_s)
+            measure(build_mesh(nodes, flows, AllocEngine::Dense, 1), nodes, step, window_s)
         });
         let speedup = dense
             .as_ref()
             .map(|d| incremental.ticks_per_sec / d.ticks_per_sec);
+        let delta_speedup = delta.ticks_per_sec / incremental.ticks_per_sec;
         println!(
-            "{nodes:>4} nodes {flows:>5} flows {links:>4} links | incremental {:>10.0} ticks/s{}",
+            "{nodes:>4} nodes {flows:>5} flows {links:>4} links {districts:>2} districts | \
+             incremental {:>9.0} ticks/s | delta {:>9.0} ticks/s ({delta_speedup:.1}x){}{}",
             incremental.ticks_per_sec,
+            delta.ticks_per_sec,
+            match &delta_sharded {
+                Some(s) => format!(" | delta x4 {:>9.0} ticks/s", s.ticks_per_sec),
+                None => String::new(),
+            },
             match (&dense, speedup) {
                 (Some(d), Some(s)) =>
-                    format!(" | dense {:>8.0} ticks/s | speedup {s:.1}x", d.ticks_per_sec),
+                    format!(" | dense {:>7.0} ticks/s ({s:.1}x)", d.ticks_per_sec),
                 _ => String::from(" | dense skipped"),
             }
         );
-        sizes.push(SizeResult { nodes, flows, links, incremental, dense, speedup });
+        sizes.push(SizeResult {
+            nodes,
+            flows,
+            links,
+            districts,
+            incremental,
+            delta,
+            delta_sharded,
+            dense,
+            speedup,
+            delta_speedup,
+        });
     }
 
     let report = BenchReport {

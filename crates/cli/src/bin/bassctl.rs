@@ -5,12 +5,12 @@
 //! bassctl place    --manifest app.json --testbed mesh.json [--policy …] [--seed N] [--json]
 //! bassctl simulate --manifest app.json --testbed mesh.json [--policy …] [--duration SECS]
 //!                  [--no-migrations] [--seed N] [--json] [--journal events.jsonl]
-//!                  [--faults plan.json] [--engine dense|incremental]
-//!                  [--metrics-out metrics.prom]
+//!                  [--faults plan.json] [--engine dense|incremental|delta]
+//!                  [--alloc-jobs N] [--metrics-out metrics.prom]
 //! bassctl recommend --manifest app.json --testbed mesh.json [--json]
 //! bassctl traces   --testbed mesh.json [--duration SECS] [--seed N]
 //! bassctl campaign --spec scenario.json [--seed N] [--jobs N] [--out summary.json]
-//!                  [--engine dense|incremental] [--journal events.jsonl]
+//!                  [--engine dense|incremental|delta] [--journal events.jsonl]
 //!                  [--metrics-out metrics.prom] [--profile]
 //!                  [--progress[=off|info|debug]]
 //! bassctl metrics  --in metrics.prom [--diff other.prom | --lint]
@@ -45,6 +45,7 @@ struct Args {
     journal: Option<String>,
     faults: Option<String>,
     engine: bass_mesh::AllocEngine,
+    alloc_jobs: usize,
     metrics_out: Option<String>,
     profile: bool,
     progress: bass_obs::ProgressLevel,
@@ -69,8 +70,9 @@ fn parse_engine(name: &str) -> Result<bass_mesh::AllocEngine, String> {
     match name {
         "dense" => Ok(bass_mesh::AllocEngine::Dense),
         "incremental" => Ok(bass_mesh::AllocEngine::Incremental),
+        "delta" => Ok(bass_mesh::AllocEngine::Delta),
         other => Err(format!(
-            "unknown engine '{other}' (expected dense or incremental)"
+            "unknown engine '{other}' (expected dense, incremental, or delta)"
         )),
     }
 }
@@ -91,6 +93,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         journal: None,
         faults: None,
         engine: bass_mesh::AllocEngine::default(),
+        alloc_jobs: 1,
         metrics_out: None,
         profile: false,
         progress: bass_obs::ProgressLevel::Off,
@@ -129,6 +132,14 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             "--journal" => args.journal = Some(value("--journal")?),
             "--faults" => args.faults = Some(value("--faults")?),
             "--engine" => args.engine = parse_engine(&value("--engine")?)?,
+            "--alloc-jobs" => {
+                args.alloc_jobs = value("--alloc-jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --alloc-jobs: {e}"))?;
+                if args.alloc_jobs == 0 {
+                    return Err("--alloc-jobs must be at least 1".to_string());
+                }
+            }
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--profile" => args.profile = true,
             "--progress" => args.progress = bass_obs::ProgressLevel::Info,
@@ -253,6 +264,7 @@ fn run() -> Result<(), String> {
                     journal: args.journal.clone().map(std::path::PathBuf::from),
                     faults: args.faults.clone().map(std::path::PathBuf::from),
                     engine: args.engine,
+                    alloc_jobs: args.alloc_jobs,
                     metrics_out: args.metrics_out.clone().map(std::path::PathBuf::from),
                 },
             )

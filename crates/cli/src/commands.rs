@@ -166,10 +166,16 @@ pub struct SimulateOptions {
     /// and inject it into the run (see `docs/FAULTS.md`).
     pub faults: Option<std::path::PathBuf>,
     /// Max-min allocation engine driving the mesh each tick
-    /// (`--engine dense|incremental`; see `docs/PERFORMANCE.md`). Both
-    /// engines produce bit-identical results; `Dense` is the
-    /// pre-incremental reference kept for regression comparisons.
+    /// (`--engine dense|incremental|delta`; see `docs/PERFORMANCE.md`
+    /// and `docs/ARCHITECTURE.md`). All engines produce bit-identical
+    /// results; `Dense` is the pre-incremental reference kept for
+    /// regression comparisons, `Delta` refills only the constraint
+    /// components a tick actually perturbed.
     pub engine: bass_mesh::AllocEngine,
+    /// Worker threads for the delta engine's sharded component fill
+    /// (`--alloc-jobs`; ≥1, byte-identical outputs at any value; other
+    /// engines ignore it).
+    pub alloc_jobs: usize,
     /// When set, enable span profiling and write a Prometheus
     /// text-format exposition of the run's metrics registry plus
     /// per-phase span aggregates to this path (see
@@ -187,6 +193,7 @@ impl Default for SimulateOptions {
             journal: None,
             faults: None,
             engine: bass_mesh::AllocEngine::default(),
+            alloc_jobs: 1,
             metrics_out: None,
         }
     }
@@ -239,6 +246,7 @@ pub fn simulate(
         migrations_enabled: opts.migrations,
         faults,
         alloc_engine: opts.engine,
+        alloc_jobs: opts.alloc_jobs,
         ..Default::default()
     };
     let mut env = SimEnv::new(mesh, cluster, dag, cfg);
@@ -379,7 +387,7 @@ pub fn traces(
 pub struct CampaignCommandOptions {
     /// Worker threads for replica execution (`--jobs`).
     pub jobs: usize,
-    /// Max-min allocation engine (`--engine dense|incremental`).
+    /// Max-min allocation engine (`--engine dense|incremental|delta`).
     pub engine: bass_mesh::AllocEngine,
     /// When set, write one `campaign_replica_completed` event per
     /// replica to this JSONL path after the run.
@@ -609,6 +617,7 @@ mod tests {
                 journal: None,
                 faults: None,
                 engine: bass_mesh::AllocEngine::default(),
+                alloc_jobs: 1,
                 metrics_out: None,
             },
         )

@@ -56,10 +56,16 @@ pub struct SimEnvConfig {
     pub faults: FaultPlan,
     /// Which max-min allocation engine the mesh runs each tick. The
     /// default [`AllocEngine::Incremental`] is the fast path;
-    /// [`AllocEngine::Dense`] replays the pre-incremental reference
-    /// implementation (bit-identical results, useful for regression
-    /// comparisons and benchmarking). See `docs/PERFORMANCE.md`.
+    /// [`AllocEngine::Delta`] additionally refills only the constraint
+    /// components a tick actually perturbed; [`AllocEngine::Dense`]
+    /// replays the pre-incremental reference implementation. All three
+    /// produce bit-identical results (see `docs/ARCHITECTURE.md` and
+    /// `docs/PERFORMANCE.md`).
     pub alloc_engine: AllocEngine,
+    /// Worker threads for the delta engine's sharded component fill
+    /// (≥1; other engines ignore it). Allocations are byte-identical at
+    /// any job count, so this only changes wall-clock.
+    pub alloc_jobs: usize,
 }
 
 impl Default for SimEnvConfig {
@@ -76,6 +82,7 @@ impl Default for SimEnvConfig {
             adaptive_routing: None,
             faults: FaultPlan::new(),
             alloc_engine: AllocEngine::default(),
+            alloc_jobs: 1,
         }
     }
 }
@@ -194,6 +201,7 @@ impl SimEnv {
         let controller = BassController::new(cfg.controller);
         let netmon = NetMonitor::new(cfg.netmon);
         mesh.set_alloc_engine(cfg.alloc_engine);
+        mesh.set_alloc_jobs(cfg.alloc_jobs);
         SimEnv {
             cfg,
             mesh,

@@ -95,24 +95,318 @@ pub struct Constraint {
     pub members: Vec<usize>,
 }
 
-/// Convergence guard shared by both allocator implementations:
+/// Convergence guard shared by all allocator implementations:
 /// increments below this many bps are treated as "done".
 const EPS: f64 = 1e-6; // bps — far below any meaningful rate
 
-/// Reusable scratch state for [`max_min_allocate_into`].
+/// Marker for flows that belong to no constraint (loopback traffic):
+/// they are granted their demand outright and live in no component.
+pub const NO_COMPONENT: u32 = u32::MAX;
+
+/// Connected components of the flow ↔ constraint bipartite graph.
 ///
-/// The incremental allocator's working vectors (per-flow rates and
-/// frozen flags, per-constraint remaining capacity and active-member
-/// counts, the compact active-flow list) are kept here so a caller that
-/// allocates every simulation tick — [`crate::Mesh`] — performs zero
-/// heap allocations on the steady-state path.
+/// Two constraints are in the same component when some flow crosses
+/// both; a flow belongs to the component of its constraints. Max-min
+/// fairness decomposes exactly over these components — no flow in one
+/// component can affect any rate in another — so every allocator in
+/// this crate fills components independently, one at a time, in the
+/// *canonical component order* (ascending order of each component's
+/// smallest constraint index). That shared order is what makes the
+/// three [`crate::AllocEngine`]s bit-identical, and it is what the
+/// `Delta` engine exploits: when a perturbation touches only one
+/// component, every other component's rates are provably unchanged and
+/// are kept verbatim.
+///
+/// In a gateway-partitioned city mesh whose flows stay inside their
+/// district, each district's links and flows form one component — the
+/// component index *is* the district map (see `docs/ARCHITECTURE.md`).
+///
+/// Rebuilt from the CSR flow → constraint map with a union-find pass
+/// (O(memberships · α)); all storage is reused across rebuilds.
+#[derive(Debug, Clone, Default)]
+pub struct ComponentIndex {
+    /// Component of each flow; [`NO_COMPONENT`] for unconstrained flows.
+    flow_comp: Vec<u32>,
+    /// Component of each constraint (memberless constraints form
+    /// singleton components).
+    cons_comp: Vec<u32>,
+    /// CSR offsets of the component → flows map.
+    comp_flows_off: Vec<usize>,
+    /// CSR payload: flow indices per component, ascending.
+    comp_flows: Vec<usize>,
+    /// CSR offsets of the component → constraints map.
+    comp_cons_off: Vec<usize>,
+    /// CSR payload: constraint indices per component, ascending.
+    comp_cons: Vec<usize>,
+    /// Union-find parents over constraints (scratch, reused).
+    parent: Vec<u32>,
+}
+
+impl ComponentIndex {
+    /// Recomputes the component partition for `n` flows over
+    /// `constraints`, reading flow memberships from the CSR map
+    /// (`flow_cons_off`/`flow_cons`, as built by
+    /// [`build_flow_constraint_map`]). Storage is reused.
+    pub fn rebuild(
+        &mut self,
+        n: usize,
+        constraints: &[Constraint],
+        flow_cons_off: &[usize],
+        flow_cons: &[usize],
+    ) {
+        let m = constraints.len();
+        self.parent.clear();
+        self.parent.extend(0..m as u32);
+        // Union every constraint a flow crosses into the flow's first.
+        for i in 0..n {
+            let row = &flow_cons[flow_cons_off[i]..flow_cons_off[i + 1]];
+            if let Some((&first, rest)) = row.split_first() {
+                let root = self.find(first as u32);
+                for &ci in rest {
+                    let r = self.find(ci as u32);
+                    if r != root {
+                        self.parent[r as usize] = root;
+                    }
+                }
+            }
+        }
+        // Canonical numbering: components appear in ascending order of
+        // their smallest constraint index.
+        self.cons_comp.clear();
+        self.cons_comp.resize(m, NO_COMPONENT);
+        let mut count = 0u32;
+        for ci in 0..m as u32 {
+            let root = self.find(ci) as usize;
+            if self.cons_comp[root] == NO_COMPONENT {
+                self.cons_comp[root] = count;
+                count += 1;
+            }
+            let comp = self.cons_comp[root];
+            self.cons_comp[ci as usize] = comp;
+        }
+        // Two-pass CSR builds (counts, prefix sums, fill) for both side
+        // maps; ascending iteration keeps payloads sorted.
+        self.flow_comp.clear();
+        self.flow_comp.resize(n, NO_COMPONENT);
+        for i in 0..n {
+            if flow_cons_off[i + 1] > flow_cons_off[i] {
+                self.flow_comp[i] = self.cons_comp[flow_cons[flow_cons_off[i]]];
+            }
+        }
+        let nc = count as usize;
+        self.comp_flows_off.clear();
+        self.comp_flows_off.resize(nc + 1, 0);
+        for &c in &self.flow_comp {
+            if c != NO_COMPONENT {
+                self.comp_flows_off[c as usize + 1] += 1;
+            }
+        }
+        for k in 0..nc {
+            self.comp_flows_off[k + 1] += self.comp_flows_off[k];
+        }
+        self.comp_flows.clear();
+        self.comp_flows.resize(self.comp_flows_off[nc], 0);
+        let mut cursor: Vec<usize> = self.comp_flows_off[..nc].to_vec();
+        for (i, &c) in self.flow_comp.iter().enumerate() {
+            if c != NO_COMPONENT {
+                self.comp_flows[cursor[c as usize]] = i;
+                cursor[c as usize] += 1;
+            }
+        }
+        self.comp_cons_off.clear();
+        self.comp_cons_off.resize(nc + 1, 0);
+        for &c in &self.cons_comp {
+            self.comp_cons_off[c as usize + 1] += 1;
+        }
+        for k in 0..nc {
+            self.comp_cons_off[k + 1] += self.comp_cons_off[k];
+        }
+        self.comp_cons.clear();
+        self.comp_cons.resize(m, 0);
+        let mut cursor: Vec<usize> = self.comp_cons_off[..nc].to_vec();
+        for (ci, &c) in self.cons_comp.iter().enumerate() {
+            self.comp_cons[cursor[c as usize]] = ci;
+            cursor[c as usize] += 1;
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        // Path halving.
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Number of components (memberless constraints count as singleton
+    /// components; unconstrained flows count in none).
+    pub fn component_count(&self) -> usize {
+        self.comp_flows_off.len().saturating_sub(1)
+    }
+
+    /// The component a flow belongs to, or [`NO_COMPONENT`] when the
+    /// flow crosses no constraint.
+    pub fn flow_component(&self, flow: usize) -> u32 {
+        self.flow_comp[flow]
+    }
+
+    /// The component a constraint belongs to.
+    pub fn constraint_component(&self, ci: usize) -> u32 {
+        self.cons_comp[ci]
+    }
+
+    /// The flow indices of a component, ascending.
+    pub fn flows_of(&self, comp: u32) -> &[usize] {
+        &self.comp_flows[self.comp_flows_off[comp as usize]..self.comp_flows_off[comp as usize + 1]]
+    }
+
+    /// The constraint indices of a component, ascending.
+    pub fn constraints_of(&self, comp: u32) -> &[usize] {
+        &self.comp_cons[self.comp_cons_off[comp as usize]..self.comp_cons_off[comp as usize + 1]]
+    }
+}
+
+/// Reusable scratch state for [`max_min_allocate_into`] and the
+/// per-component refill entry points.
+///
+/// The incremental allocator's working vectors (per-flow frozen flags,
+/// per-constraint remaining capacity and active-member counts, the
+/// compact active-flow list, and a cached [`ComponentIndex`]) are kept
+/// here so a caller that allocates every simulation tick —
+/// [`crate::Mesh`] — performs zero heap allocations on the steady-state
+/// path. Sharded fills give every worker thread its own scratch.
 #[derive(Debug, Clone, Default)]
 pub struct AllocScratch {
-    rates: Vec<f64>,
     frozen: Vec<bool>,
     remaining: Vec<f64>,
     active_count: Vec<usize>,
     active: Vec<usize>,
+    comps: ComponentIndex,
+}
+
+/// Progressive-filling water-fill of one constraint component, in place.
+///
+/// Resets the component's slice of the working state (`rates`, `frozen`,
+/// `remaining`, `active_count`), then runs the incremental water-filling
+/// rounds restricted to the component's flows and constraints. This is
+/// *the* canonical fill every allocation engine reduces to: the dense
+/// oracle performs the same floating-point operations by re-scanning
+/// membership lists, and the delta engine calls this directly for each
+/// dirty component. State arrays are global-sized; only the component's
+/// entries are read or written, so disjoint components can be filled in
+/// any order — or concurrently — with bit-identical results.
+#[allow(clippy::too_many_arguments)]
+fn fill_component(
+    demands: &[Bandwidth],
+    constraints: &[Constraint],
+    flow_cons_off: &[usize],
+    flow_cons: &[usize],
+    comp_flows: &[usize],
+    comp_cons: &[usize],
+    rates: &mut [f64],
+    frozen: &mut [bool],
+    remaining: &mut [f64],
+    active_count: &mut [usize],
+    active: &mut Vec<usize>,
+) {
+    let n = demands.len();
+    // Reset the component's state: zero-demand flows pre-freeze at rate
+    // 0 (mirroring the historical global pre-pass), everything else
+    // starts unfrozen at rate 0.
+    active.clear();
+    for &i in comp_flows {
+        rates[i] = 0.0;
+        if demands[i].as_bps() <= EPS {
+            frozen[i] = true;
+        } else {
+            frozen[i] = false;
+            active.push(i);
+        }
+    }
+    for &ci in comp_cons {
+        remaining[ci] = constraints[ci].capacity.as_bps();
+        let mut k = 0;
+        for &m in &constraints[ci].members {
+            assert!(m < n, "constraint references unknown flow index {m}");
+            if !frozen[m] {
+                k += 1;
+            }
+        }
+        active_count[ci] = k;
+    }
+
+    while !active.is_empty() {
+        // Smallest per-flow increment until some flow hits its demand …
+        let mut delta = f64::INFINITY;
+        for &i in active.iter() {
+            delta = delta.min(demands[i].as_bps() - rates[i]);
+        }
+        // … or some constraint saturates.
+        for &ci in comp_cons {
+            let k = active_count[ci];
+            if k > 0 {
+                delta = delta.min(remaining[ci] / k as f64);
+            }
+        }
+        let delta = delta.max(0.0);
+
+        for &i in active.iter() {
+            rates[i] += delta;
+        }
+        for &ci in comp_cons {
+            remaining[ci] -= delta * active_count[ci] as f64;
+        }
+
+        // Freeze demand-satisfied flows and members of saturated
+        // constraints, decrementing the counts of every constraint a
+        // freezing flow belongs to. At least one flow freezes per round
+        // (delta picked the binding resource), so the loop terminates.
+        let mut any_frozen = false;
+        for &i in active.iter() {
+            if demands[i].as_bps() - rates[i] <= EPS {
+                frozen[i] = true;
+                any_frozen = true;
+                for &ci in &flow_cons[flow_cons_off[i]..flow_cons_off[i + 1]] {
+                    active_count[ci] -= 1;
+                }
+            }
+        }
+        for &ci in comp_cons {
+            if remaining[ci] <= EPS && active_count[ci] > 0 {
+                for &m in &constraints[ci].members {
+                    if !frozen[m] {
+                        frozen[m] = true;
+                        any_frozen = true;
+                        for &cj in &flow_cons[flow_cons_off[m]..flow_cons_off[m + 1]] {
+                            active_count[cj] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        if !any_frozen {
+            // Defensive: numerical corner where nothing moved.
+            break;
+        }
+        active.retain(|&i| !frozen[i]);
+    }
+}
+
+/// Ensures the scratch working arrays cover `n` flows and
+/// `constraints.len()` constraints without clearing existing entries
+/// ([`fill_component`] resets exactly what it touches).
+fn reserve_scratch(scratch: &mut AllocScratch, n: usize, m: usize) {
+    if scratch.frozen.len() < n {
+        scratch.frozen.resize(n, false);
+    }
+    if scratch.remaining.len() < m {
+        scratch.remaining.resize(m, 0.0);
+    }
+    if scratch.active_count.len() < m {
+        scratch.active_count.resize(m, 0);
+    }
 }
 
 /// Incremental progressive-filling max-min allocator.
@@ -123,9 +417,16 @@ pub struct AllocScratch {
 /// every water-filling round — O(Σ members) *three times per round* —
 /// it keeps a per-constraint *active-member count* and the *remaining
 /// capacity* updated in place. Each round then costs
-/// O(active flows + constraints), and the membership lists are only
-/// walked once in total when flows freeze (amortized O(Σ memberships)
-/// across the whole run).
+/// O(active flows + component constraints), and the membership lists are
+/// only walked once in total when flows freeze (amortized
+/// O(Σ memberships) across the whole run).
+///
+/// Both allocators fill the connected components of the flow ↔
+/// constraint graph independently, in canonical component order (see
+/// [`ComponentIndex`]); this call derives the partition from the CSR map
+/// on the fly (the [`crate::AllocEngine::Delta`] path caches it
+/// instead and refills only dirty components via
+/// [`refill_component_into`]).
 ///
 /// `flow_cons_off`/`flow_cons` are a CSR-style reverse map from flow
 /// index to the constraint indices it belongs to (one entry per
@@ -151,98 +452,116 @@ pub fn max_min_allocate_into(
 ) {
     let n = demands.len();
     assert_eq!(flow_cons_off.len(), n + 1, "CSR offsets must have len n + 1");
+    let mut comps = std::mem::take(&mut scratch.comps);
+    comps.rebuild(n, constraints, flow_cons_off, flow_cons);
+    max_min_allocate_components(demands, constraints, flow_cons_off, flow_cons, &comps, scratch, out);
+    scratch.comps = comps;
+}
 
-    scratch.rates.clear();
-    scratch.rates.resize(n, 0.0);
-    scratch.frozen.clear();
-    scratch.frozen.resize(n, false);
-    scratch.remaining.clear();
-    scratch.remaining.extend(constraints.iter().map(|c| c.capacity.as_bps()));
-    scratch.active.clear();
-    let AllocScratch { rates, frozen, remaining, active_count, active } = scratch;
-
-    // Pre-freeze zero-demand flows at rate 0 and grant unconstrained
-    // flows (empty CSR row, e.g. loopback) their full demand.
-    for i in 0..n {
-        if demands[i].as_bps() <= EPS {
-            frozen[i] = true;
-        } else if flow_cons_off[i + 1] == flow_cons_off[i] {
-            rates[i] = demands[i].as_bps();
-            frozen[i] = true;
-        } else {
-            active.push(i);
-        }
-    }
-
-    // Initial active-member counts, honoring the pre-pass freezes.
-    active_count.clear();
-    active_count.resize(constraints.len(), 0);
-    for (ci, c) in constraints.iter().enumerate() {
-        for &m in &c.members {
-            assert!(m < n, "constraint references unknown flow index {m}");
-            if !frozen[m] {
-                active_count[ci] += 1;
-            }
-        }
-    }
-
-    while !active.is_empty() {
-        // Smallest per-flow increment until some flow hits its demand …
-        let mut delta = f64::INFINITY;
-        for &i in active.iter() {
-            delta = delta.min(demands[i].as_bps() - rates[i]);
-        }
-        // … or some constraint saturates.
-        for (ci, &k) in active_count.iter().enumerate() {
-            if k > 0 {
-                delta = delta.min(remaining[ci] / k as f64);
-            }
-        }
-        let delta = delta.max(0.0);
-
-        for &i in active.iter() {
-            rates[i] += delta;
-        }
-        for (ci, &k) in active_count.iter().enumerate() {
-            remaining[ci] -= delta * k as f64;
-        }
-
-        // Freeze demand-satisfied flows and members of saturated
-        // constraints, decrementing the counts of every constraint a
-        // freezing flow belongs to. At least one flow freezes per round
-        // (delta picked the binding resource), so the loop terminates.
-        let mut any_frozen = false;
-        for &i in active.iter() {
-            if demands[i].as_bps() - rates[i] <= EPS {
-                frozen[i] = true;
-                any_frozen = true;
-                for &ci in &flow_cons[flow_cons_off[i]..flow_cons_off[i + 1]] {
-                    active_count[ci] -= 1;
-                }
-            }
-        }
-        for (ci, c) in constraints.iter().enumerate() {
-            if remaining[ci] <= EPS && active_count[ci] > 0 {
-                for &m in &c.members {
-                    if !frozen[m] {
-                        frozen[m] = true;
-                        any_frozen = true;
-                        for &cj in &flow_cons[flow_cons_off[m]..flow_cons_off[m + 1]] {
-                            active_count[cj] -= 1;
-                        }
-                    }
-                }
-            }
-        }
-        if !any_frozen {
-            // Defensive: numerical corner where nothing moved.
-            break;
-        }
-        active.retain(|&i| !frozen[i]);
-    }
-
+/// [`max_min_allocate_into`] with a caller-maintained
+/// [`ComponentIndex`]: fills every component in canonical order plus the
+/// unconstrained flows, writing one rate per flow into `out`. The
+/// partition must have been rebuilt for exactly this CSR map.
+///
+/// # Panics
+///
+/// Panics on the same inconsistencies as [`max_min_allocate_into`].
+pub fn max_min_allocate_components(
+    demands: &[Bandwidth],
+    constraints: &[Constraint],
+    flow_cons_off: &[usize],
+    flow_cons: &[usize],
+    comps: &ComponentIndex,
+    scratch: &mut AllocScratch,
+    out: &mut Vec<f64>,
+) {
+    let n = demands.len();
+    assert_eq!(flow_cons_off.len(), n + 1, "CSR offsets must have len n + 1");
     out.clear();
-    out.extend_from_slice(rates);
+    out.resize(n, 0.0);
+    reserve_scratch(scratch, n, constraints.len());
+    // Grant unconstrained flows (empty CSR row, e.g. loopback) their
+    // full demand; zero-demand flows stay at rate 0.
+    for i in 0..n {
+        if flow_cons_off[i + 1] == flow_cons_off[i] {
+            out[i] = unconstrained_rate(demands[i]);
+        }
+    }
+    let AllocScratch { frozen, remaining, active_count, active, .. } = scratch;
+    for comp in 0..comps.component_count() as u32 {
+        fill_component(
+            demands,
+            constraints,
+            flow_cons_off,
+            flow_cons,
+            comps.flows_of(comp),
+            comps.constraints_of(comp),
+            out,
+            frozen,
+            remaining,
+            active_count,
+            active,
+        );
+    }
+}
+
+/// Refills a single component in place: resets and water-fills only
+/// `comp`'s flows and constraints, leaving every other entry of `rates`
+/// untouched. This is the [`crate::AllocEngine::Delta`] hot path — when
+/// a tick changes one link's capacity, only that link's component is
+/// refilled and the rest of the mesh keeps its previous allocation
+/// verbatim (bit-for-bit what a full refill would have produced).
+///
+/// `rates` must hold one rate per flow (as produced by
+/// [`max_min_allocate_components`]).
+///
+/// # Panics
+///
+/// Panics if `rates`/CSR sizes are inconsistent with `demands.len()` or
+/// a constraint references an out-of-range flow.
+#[allow(clippy::too_many_arguments)]
+pub fn refill_component_into(
+    comp: u32,
+    demands: &[Bandwidth],
+    constraints: &[Constraint],
+    flow_cons_off: &[usize],
+    flow_cons: &[usize],
+    comps: &ComponentIndex,
+    scratch: &mut AllocScratch,
+    rates: &mut [f64],
+) {
+    let n = demands.len();
+    assert_eq!(flow_cons_off.len(), n + 1, "CSR offsets must have len n + 1");
+    assert_eq!(rates.len(), n, "rates must hold one slot per flow");
+    reserve_scratch(scratch, n, constraints.len());
+    let AllocScratch { frozen, remaining, active_count, active, .. } = scratch;
+    fill_component(
+        demands,
+        constraints,
+        flow_cons_off,
+        flow_cons,
+        comps.flows_of(comp),
+        comps.constraints_of(comp),
+        rates,
+        frozen,
+        remaining,
+        active_count,
+        active,
+    );
+}
+
+/// The rate the canonical fill grants a flow that crosses no constraint
+/// (an empty CSR row — loopback traffic): its full demand in bps, or
+/// zero for (near-)zero demands. The `Delta` engine applies this rule
+/// directly when an unconstrained flow's demand moves, without touching
+/// any component.
+pub fn unconstrained_rate(demand: Bandwidth) -> f64 {
+    let d = demand.as_bps();
+    if d > EPS {
+        d
+    } else {
+        0.0
+    }
 }
 
 /// Builds the CSR-style flow → constraints reverse map consumed by
@@ -305,21 +624,28 @@ pub fn max_min_allocate(demands: &[Bandwidth], constraints: &[Constraint]) -> Ve
     out.into_iter().map(Bandwidth::from_bps).collect()
 }
 
-/// The original dense progressive-filling allocator, kept verbatim as
-/// the correctness *oracle* for the incremental engine (property tests
+/// The dense progressive-filling allocator, kept as the correctness
+/// *oracle* for the incremental and delta engines (property tests
 /// assert bit-identical outputs) and as the baseline the `scale` bench
-/// measures speedups against. Every water-filling round re-scans every
-/// constraint's full membership list, so each round costs
+/// measures speedups against. Every water-filling round re-scans the
+/// component's full membership lists, so each round costs
 /// O(constraints × members); prefer [`max_min_allocate`] everywhere
 /// else.
+///
+/// Like every engine, it fills the connected components of the flow ↔
+/// constraint graph one at a time in canonical order (ascending
+/// smallest-constraint-index); the partition is re-derived here with an
+/// independent union-find so the oracle shares no code with the
+/// incremental path beyond this module's constants.
 pub fn max_min_allocate_dense(demands: &[Bandwidth], constraints: &[Constraint]) -> Vec<Bandwidth> {
     let n = demands.len();
+    let m = constraints.len();
     let mut rates = vec![0.0f64; n];
     let mut frozen = vec![false; n];
     let mut remaining: Vec<f64> = constraints.iter().map(|c| c.capacity.as_bps()).collect();
 
-    // Pre-freeze zero-demand flows and flows crossing a zero-capacity
-    // constraint at rate 0; grant unconstrained flows their demand.
+    // Pre-freeze zero-demand flows at rate 0; grant unconstrained flows
+    // their demand.
     let mut constrained = vec![false; n];
     for c in constraints {
         for &m in &c.members {
@@ -336,57 +662,103 @@ pub fn max_min_allocate_dense(demands: &[Bandwidth], constraints: &[Constraint])
         }
     }
 
-    loop {
-        let active: Vec<usize> = (0..n).filter(|&i| !frozen[i]).collect();
-        if active.is_empty() {
-            break;
+    // Independent component derivation: a plain union-find over
+    // constraints, joined through each flow's membership list.
+    let mut parent: Vec<usize> = (0..m).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
         }
-
-        // Smallest per-flow increment until some flow hits its demand …
-        let mut delta = f64::INFINITY;
-        for &i in &active {
-            delta = delta.min(demands[i].as_bps() - rates[i]);
-        }
-        // … or some constraint saturates.
-        for (ci, c) in constraints.iter().enumerate() {
-            let k = c.members.iter().filter(|&&m| !frozen[m]).count();
-            if k > 0 {
-                delta = delta.min(remaining[ci] / k as f64);
-            }
-        }
-        let delta = delta.max(0.0);
-
-        for &i in &active {
-            rates[i] += delta;
-        }
-        for (ci, c) in constraints.iter().enumerate() {
-            let k = c.members.iter().filter(|&&m| !frozen[m]).count();
-            remaining[ci] -= delta * k as f64;
-        }
-
-        // Freeze demand-satisfied flows and members of saturated
-        // constraints. At least one flow freezes per round (delta picked
-        // the binding resource), so the loop terminates.
-        let mut any_frozen = false;
-        for &i in &active {
-            if demands[i].as_bps() - rates[i] <= EPS {
-                frozen[i] = true;
-                any_frozen = true;
-            }
-        }
-        for (ci, c) in constraints.iter().enumerate() {
-            if remaining[ci] <= EPS {
-                for &m in &c.members {
-                    if !frozen[m] {
-                        frozen[m] = true;
-                        any_frozen = true;
+        x
+    }
+    let mut first_cons: Vec<Option<usize>> = vec![None; n];
+    for (ci, c) in constraints.iter().enumerate() {
+        for &fm in &c.members {
+            match first_cons[fm] {
+                None => first_cons[fm] = Some(ci),
+                Some(f) => {
+                    let (a, b) = (find(&mut parent, f), find(&mut parent, ci));
+                    if a != b {
+                        parent[b] = a;
                     }
                 }
             }
         }
-        if !any_frozen {
-            // Defensive: numerical corner where nothing moved.
-            break;
+    }
+    // Canonical order: components sorted by their smallest constraint.
+    let mut comp_of_root: Vec<Option<usize>> = vec![None; m];
+    let mut comp_cons: Vec<Vec<usize>> = Vec::new();
+    for ci in 0..m {
+        let root = find(&mut parent, ci);
+        let comp = *comp_of_root[root].get_or_insert_with(|| {
+            comp_cons.push(Vec::new());
+            comp_cons.len() - 1
+        });
+        comp_cons[comp].push(ci);
+    }
+    let mut comp_flows: Vec<Vec<usize>> = vec![Vec::new(); comp_cons.len()];
+    for (i, fc) in first_cons.iter().enumerate() {
+        if let Some(f) = fc {
+            let root = find(&mut parent, *f);
+            comp_flows[comp_of_root[root].expect("root numbered")].push(i);
+        }
+    }
+
+    for (cons, flows) in comp_cons.iter().zip(&comp_flows) {
+        loop {
+            let active: Vec<usize> = flows.iter().copied().filter(|&i| !frozen[i]).collect();
+            if active.is_empty() {
+                break;
+            }
+
+            // Smallest per-flow increment until some flow hits its
+            // demand …
+            let mut delta = f64::INFINITY;
+            for &i in &active {
+                delta = delta.min(demands[i].as_bps() - rates[i]);
+            }
+            // … or some constraint saturates.
+            for &ci in cons {
+                let k = constraints[ci].members.iter().filter(|&&fm| !frozen[fm]).count();
+                if k > 0 {
+                    delta = delta.min(remaining[ci] / k as f64);
+                }
+            }
+            let delta = delta.max(0.0);
+
+            for &i in &active {
+                rates[i] += delta;
+            }
+            for &ci in cons {
+                let k = constraints[ci].members.iter().filter(|&&fm| !frozen[fm]).count();
+                remaining[ci] -= delta * k as f64;
+            }
+
+            // Freeze demand-satisfied flows and members of saturated
+            // constraints. At least one flow freezes per round (delta
+            // picked the binding resource), so the loop terminates.
+            let mut any_frozen = false;
+            for &i in &active {
+                if demands[i].as_bps() - rates[i] <= EPS {
+                    frozen[i] = true;
+                    any_frozen = true;
+                }
+            }
+            for &ci in cons {
+                if remaining[ci] <= EPS {
+                    for &fm in &constraints[ci].members {
+                        if !frozen[fm] {
+                            frozen[fm] = true;
+                            any_frozen = true;
+                        }
+                    }
+                }
+            }
+            if !any_frozen {
+                // Defensive: numerical corner where nothing moved.
+                break;
+            }
         }
     }
 

@@ -26,6 +26,8 @@
 //! scheduler studies and reproduces every observable the paper measures
 //! (throughput shares, transfer latency, loss under overload).
 
+#![warn(missing_docs)]
+
 pub mod capacity;
 pub mod flow;
 pub mod mesh;

@@ -1,9 +1,36 @@
 //! The [`Mesh`] facade: topology + routing + capacities + flows + queues.
+//!
+//! Each [`Mesh::advance`] tick runs the allocation pipeline described in
+//! `docs/ARCHITECTURE.md`: refresh per-link capacities from traces and
+//! overrides, rebuild the flow↔constraint `AllocIndex` if topology or
+//! membership changed, water-fill per-flow rates, then drain per-flow
+//! queues against the granted rates. Three [`AllocEngine`]s implement
+//! the water-fill step with bit-identical results:
+//!
+//! - **Dense** — the reference path: rebuilds all state from scratch
+//!   every tick. Slow, trivially correct; the oracle the other two are
+//!   tested against.
+//! - **Incremental** — keeps the `AllocIndex` (a CSR flow↔constraint
+//!   map) across ticks and refills everything through preallocated
+//!   scratch. No per-tick allocation, but still a full refill.
+//! - **Delta** — additionally tracks connected components of the
+//!   flow↔constraint graph ([`crate::flow::ComponentIndex`]) and
+//!   bit-compares capacity/demand snapshots each tick, refilling only
+//!   the *dirty* components. With `alloc_jobs > 1` dirty components are
+//!   sharded across scoped worker threads; per-worker rate buffers are
+//!   scattered back in canonical component order, so results stay
+//!   byte-identical at any job count.
+//!
+//! Determinism rules: component order is canonical (ascending smallest
+//! constraint index), all engine state is rebuilt from the same inputs,
+//! and nothing samples wall-clock time — the same seed and mutation
+//! sequence replays bit-for-bit on any machine and any `alloc_jobs`.
 
 use crate::capacity::{CapacitySource, LinkCapacity};
 use crate::flow::{
-    build_flow_constraint_map, max_min_allocate_dense, max_min_allocate_into, AllocScratch,
-    Constraint, FlowAllocation, FlowId, FlowSpec,
+    build_flow_constraint_map, max_min_allocate_components, max_min_allocate_dense,
+    max_min_allocate_into, refill_component_into, unconstrained_rate, AllocScratch,
+    ComponentIndex, Constraint, FlowAllocation, FlowId, FlowSpec, NO_COMPONENT,
 };
 use crate::queueing::{FlowQueue, HopLatency};
 use crate::routing::RoutingTable;
@@ -49,11 +76,12 @@ impl Error for MeshError {}
 
 /// Selects the algorithm behind [`Mesh::reallocate`].
 ///
-/// Both engines compute the identical allocation — bit-for-bit, not
-/// merely numerically close — so switching engines never changes
-/// simulation behaviour, only its cost. `Dense` is retained as the
+/// All three engines compute the identical allocation — bit-for-bit,
+/// not merely numerically close — so switching engines never changes
+/// simulation behaviour, only its cost (the equivalence contract is
+/// spelled out in `docs/ARCHITECTURE.md`). `Dense` is retained as the
 /// regression oracle and as the baseline the `scale` bench measures the
-/// incremental engine against.
+/// other engines against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AllocEngine {
     /// The pre-incremental reference path: rebuilds every link's member
@@ -64,9 +92,18 @@ pub enum AllocEngine {
     /// The default: a persistent link → members inverted index (rebuilt
     /// only when flows or routes change) feeding the in-place
     /// incremental allocator, with all scratch buffers reused across
-    /// ticks.
+    /// ticks. Every constraint component is still refilled every tick.
     #[default]
     Incremental,
+    /// Delta recomputation: everything `Incremental` does, plus a cached
+    /// [`crate::flow::ComponentIndex`] over the
+    /// flow ↔ constraint graph and bit-compare snapshots of constraint
+    /// capacities and per-flow transmit demands. A tick refills only the
+    /// components an observed change touches; untouched components keep
+    /// their previous rates verbatim. Dirty components are fanned out
+    /// across worker threads when [`Mesh::set_alloc_jobs`] raises the
+    /// job count — outputs stay byte-identical at any job count.
+    Delta,
 }
 
 /// Persistent inverted index backing [`AllocEngine::Incremental`]:
@@ -90,6 +127,10 @@ struct AllocIndex {
     flow_cons_off: Vec<usize>,
     /// CSR payload of the flow → constraints reverse map.
     flow_cons: Vec<usize>,
+    /// Connected components of the flow ↔ constraint graph, cached for
+    /// the delta engine (the district map of a gateway-partitioned city
+    /// mesh). Rebuilt together with the membership lists.
+    comps: ComponentIndex,
     /// Set whenever membership may have changed; cleared by `rebuild`.
     dirty: bool,
 }
@@ -128,6 +169,12 @@ impl AllocIndex {
             &self.constraints,
             &mut self.flow_cons_off,
             &mut self.flow_cons,
+        );
+        self.comps.rebuild(
+            self.ids.len(),
+            &self.constraints,
+            &self.flow_cons_off,
+            &self.flow_cons,
         );
         self.dirty = false;
     }
@@ -181,8 +228,9 @@ pub struct Mesh {
     allocation: FlowAllocation,
     /// Allocated bps currently crossing each link (refreshed per step).
     link_used_bps: Vec<f64>,
-    /// Allocated bps currently leaving each node (refreshed per step).
-    egress_used_bps: BTreeMap<NodeId, f64>,
+    /// Allocated bps currently leaving each node, indexed by node id
+    /// (refreshed per step; zero-filled past the populated range).
+    egress_used_bps: Vec<f64>,
     /// Per-link effective capacities (Mbps) last reported to a journal;
     /// `None` until the first (silent, baseline-setting) emission pass.
     obs_cap_snapshot: Option<Vec<f64>>,
@@ -216,6 +264,27 @@ pub struct Mesh {
     link_cap_bps: Vec<f64>,
     /// Per-link utilization scratch for the queueing model.
     util_scratch: Vec<f64>,
+    /// Worker threads for the delta engine's sharded component fill
+    /// (1 = fill dirty components serially on the calling thread).
+    alloc_jobs: usize,
+    /// True while the delta engine's `prev_*` snapshots and `rates_bps`
+    /// describe the current flow set; cleared by index rebuilds and
+    /// engine switches to force a full canonical fill.
+    delta_valid: bool,
+    /// Constraint capacities (bps) as of the last delta allocation,
+    /// aligned with `index.constraints`.
+    prev_caps_bps: Vec<f64>,
+    /// Per-flow transmit demands (bps) as of the last delta allocation.
+    prev_demands_bps: Vec<f64>,
+    /// Components marked dirty this tick (delta engine scratch).
+    dirty_comps: Vec<u32>,
+    /// Per-component dirty flags (delta engine scratch).
+    comp_dirty: Vec<bool>,
+    /// Per-worker allocator scratch for sharded fills.
+    shard_scratch: Vec<AllocScratch>,
+    /// Per-worker full-length rate buffers for sharded fills; only the
+    /// slots of the components a worker filled are read back.
+    shard_rates: Vec<Vec<f64>>,
 }
 
 impl Mesh {
@@ -246,7 +315,7 @@ impl Mesh {
             hop_latency: HopLatency::default(),
             allocation: FlowAllocation::default(),
             link_used_bps: vec![0.0; link_count],
-            egress_used_bps: BTreeMap::new(),
+            egress_used_bps: Vec::new(),
             obs_cap_snapshot: None,
             obs_flow_sig: None,
             down_nodes: BTreeSet::new(),
@@ -260,6 +329,14 @@ impl Mesh {
             rates_bps: Vec::new(),
             link_cap_bps: vec![0.0; link_count],
             util_scratch: vec![0.0; link_count],
+            alloc_jobs: 1,
+            delta_valid: false,
+            prev_caps_bps: Vec::new(),
+            prev_demands_bps: Vec::new(),
+            dirty_comps: Vec::new(),
+            comp_dirty: Vec::new(),
+            shard_scratch: Vec::new(),
+            shard_rates: Vec::new(),
         })
     }
 
@@ -270,10 +347,31 @@ impl Mesh {
     }
 
     /// Selects the allocation engine; takes effect at the next
-    /// [`Mesh::reallocate`]. Both engines produce bit-identical
+    /// [`Mesh::reallocate`]. All engines produce bit-identical
     /// allocations (see [`AllocEngine`]), so this only changes cost.
     pub fn set_alloc_engine(&mut self, engine: AllocEngine) {
         self.engine = engine;
+        // Snapshots taken under one engine may be stale for another
+        // (the dense path does not maintain `rates_bps`): force the
+        // delta engine to start from a full canonical fill.
+        self.delta_valid = false;
+    }
+
+    /// Worker threads the delta engine fans dirty components out to
+    /// (see [`Mesh::set_alloc_jobs`]).
+    pub fn alloc_jobs(&self) -> usize {
+        self.alloc_jobs
+    }
+
+    /// Sets how many worker threads the delta engine may use to fill
+    /// dirty components within one tick (clamped to ≥ 1; default 1 =
+    /// serial). Allocations are byte-identical at any job count: each
+    /// component's fill is deterministic and writes a disjoint slice of
+    /// the rate vector, so only wall-clock changes — the campaign
+    /// runner's ordered-slot guarantee, applied inside a single tick.
+    /// Other engines ignore this setting.
+    pub fn set_alloc_jobs(&mut self, jobs: usize) {
+        self.alloc_jobs = jobs.max(1);
     }
 
     /// Creates a mesh where every link has the same constant capacity
@@ -729,8 +827,15 @@ impl Mesh {
                 (self.link_used_bps[i] / cap).clamp(0.0, 1.0)
             };
         }
-        for (&id, flow) in self.flows.iter_mut() {
-            let allocated = self.allocation.rate(id);
+        // `reallocate` left `allocation` keyed exactly by the current
+        // flow set (ascending), so the two maps zip in lockstep — no
+        // per-flow map lookup on the hot path.
+        debug_assert_eq!(self.allocation.len(), self.flows.len());
+        for ((&id, flow), (aid, allocated)) in
+            self.flows.iter_mut().zip(self.allocation.iter())
+        {
+            debug_assert_eq!(id, aid);
+            let _ = id;
             flow.queue.advance(dt, flow.spec.demand, allocated);
             let rho = flow
                 .links
@@ -758,7 +863,10 @@ impl Mesh {
     /// incremental engine records its interior phases
     /// (`mesh.index_rebuild` when the membership index was dirty,
     /// `mesh.trace_refresh`, `mesh.water_fill`, `mesh.usage_views`); the
-    /// dense reference engine records one `mesh.dense_realloc` span.
+    /// delta engine additionally records `mesh.component_scan` (the
+    /// dirty-component diff), `mesh.delta_fill` (serial component
+    /// refills) and `mesh.shard_fill` (threaded refills); the dense
+    /// reference engine records one `mesh.dense_realloc` span.
     pub fn reallocate_profiled(&mut self, profiler: Option<&mut bass_obs::SpanProfiler>) {
         match self.engine {
             AllocEngine::Dense => {
@@ -766,6 +874,7 @@ impl Mesh {
                 self.reallocate_dense();
             }
             AllocEngine::Incremental => self.reallocate_incremental(profiler),
+            AllocEngine::Delta => self.reallocate_delta(profiler),
         }
     }
 
@@ -787,6 +896,46 @@ impl Mesh {
         }
     }
 
+    /// Refreshes `link_cap_bps` and the persistent index's constraint
+    /// capacities from the capacity sources at `now`; membership is
+    /// untouched.
+    fn refresh_constraint_caps(&mut self, link_count: usize) {
+        self.link_cap_bps.resize(link_count, 0.0);
+        for i in 0..link_count {
+            let cap = self.effective_link_capacity(LinkId(i));
+            self.link_cap_bps[i] = cap.as_bps();
+        }
+        let AllocIndex { constraints, egress_nodes, .. } = &mut self.index;
+        for (c, &bps) in constraints.iter_mut().zip(&self.link_cap_bps) {
+            c.capacity = Bandwidth::from_bps(bps);
+        }
+        for (k, node) in egress_nodes.iter().enumerate() {
+            constraints[link_count + k].capacity = self.egress_caps[node];
+        }
+    }
+
+    /// Recomputes the per-link and per-node-egress usage views from
+    /// `rates_bps`. Each link's members are in ascending flow order, so
+    /// the float accumulation order matches the dense path's flow-major
+    /// loop exactly.
+    fn update_usage_views(&mut self, link_count: usize) {
+        self.link_used_bps.resize(link_count, 0.0);
+        self.link_used_bps.fill(0.0);
+        for (ci, c) in self.index.constraints[..link_count].iter().enumerate() {
+            for &m in &c.members {
+                self.link_used_bps[ci] += self.rates_bps[m];
+            }
+        }
+        let max_node = self.topo.nodes().map(|n| n.0 as usize + 1).max().unwrap_or(0);
+        self.egress_used_bps.resize(max_node, 0.0);
+        self.egress_used_bps.fill(0.0);
+        for (i, f) in self.flows.values().enumerate() {
+            for &node in &f.egress {
+                self.egress_used_bps[node.0 as usize] += self.rates_bps[i];
+            }
+        }
+    }
+
     /// The steady-state hot path: refresh constraint capacities in
     /// place, run the incremental allocator over the persistent
     /// membership index (rebuilding it only when dirty), and update the
@@ -796,24 +945,11 @@ impl Mesh {
         let link_count = self.topo.link_count();
         if self.index.dirty {
             self.index.rebuild(link_count, &self.flows, &self.egress_caps);
+            self.delta_valid = false;
             clock.lap(profiler.as_deref_mut(), "mesh.index_rebuild");
         }
 
-        // Refresh constraint capacities; membership is untouched.
-        self.link_cap_bps.resize(link_count, 0.0);
-        for i in 0..link_count {
-            let cap = self.effective_link_capacity(LinkId(i));
-            self.link_cap_bps[i] = cap.as_bps();
-        }
-        {
-            let AllocIndex { constraints, egress_nodes, .. } = &mut self.index;
-            for (c, &bps) in constraints.iter_mut().zip(&self.link_cap_bps) {
-                c.capacity = Bandwidth::from_bps(bps);
-            }
-            for (k, node) in egress_nodes.iter().enumerate() {
-                constraints[link_count + k].capacity = self.egress_caps[node];
-            }
-        }
+        self.refresh_constraint_caps(link_count);
         clock.lap(profiler.as_deref_mut(), "mesh.trace_refresh");
 
         self.fill_demands();
@@ -828,23 +964,162 @@ impl Mesh {
         self.allocation.assign(&self.index.ids, &self.rates_bps);
         clock.lap(profiler.as_deref_mut(), "mesh.water_fill");
 
-        // Per-link and per-node-egress usage for monitoring. Each link's
-        // members are in ascending flow order, so the float accumulation
-        // order matches the dense path's flow-major loop exactly.
-        self.link_used_bps.resize(link_count, 0.0);
-        self.link_used_bps.fill(0.0);
-        for (ci, c) in self.index.constraints[..link_count].iter().enumerate() {
-            for &m in &c.members {
-                self.link_used_bps[ci] += self.rates_bps[m];
-            }
-        }
-        self.egress_used_bps.clear();
-        for (i, f) in self.flows.values().enumerate() {
-            for &node in &f.egress {
-                *self.egress_used_bps.entry(node).or_insert(0.0) += self.rates_bps[i];
-            }
-        }
+        self.update_usage_views(link_count);
         clock.lap(profiler, "mesh.usage_views");
+    }
+
+    /// The delta hot path: diff constraint capacities and transmit
+    /// demands against the last tick's snapshots (bit-compare — the
+    /// common quiescent tick marks nothing), refill only the dirty
+    /// components, and keep every other component's rates verbatim.
+    /// Falls back to one full canonical fill whenever the membership
+    /// index was rebuilt or the engine was just selected.
+    fn reallocate_delta(&mut self, mut profiler: Option<&mut bass_obs::SpanProfiler>) {
+        let mut clock = bass_obs::PhaseClock::new(profiler.is_some());
+        let link_count = self.topo.link_count();
+        if self.index.dirty {
+            self.index.rebuild(link_count, &self.flows, &self.egress_caps);
+            self.delta_valid = false;
+            clock.lap(profiler.as_deref_mut(), "mesh.index_rebuild");
+        }
+
+        self.refresh_constraint_caps(link_count);
+        clock.lap(profiler.as_deref_mut(), "mesh.trace_refresh");
+
+        self.fill_demands();
+        if !self.delta_valid {
+            // Full canonical fill, then baseline the snapshots.
+            max_min_allocate_components(
+                &self.demands_scratch,
+                &self.index.constraints,
+                &self.index.flow_cons_off,
+                &self.index.flow_cons,
+                &self.index.comps,
+                &mut self.scratch,
+                &mut self.rates_bps,
+            );
+            self.prev_caps_bps.clear();
+            self.prev_caps_bps
+                .extend(self.index.constraints.iter().map(|c| c.capacity.as_bps()));
+            self.prev_demands_bps.clear();
+            self.prev_demands_bps
+                .extend(self.demands_scratch.iter().map(|d| d.as_bps()));
+            self.delta_valid = true;
+            clock.lap(profiler.as_deref_mut(), "mesh.delta_fill");
+        } else {
+            // Dirty-component scan: a constraint whose capacity moved or
+            // a flow whose demand moved (backlog drain included) dirties
+            // its component. Unconstrained flows are re-granted directly.
+            self.comp_dirty.clear();
+            self.comp_dirty.resize(self.index.comps.component_count(), false);
+            self.dirty_comps.clear();
+            for (ci, c) in self.index.constraints.iter().enumerate() {
+                let bps = c.capacity.as_bps();
+                if bps.to_bits() != self.prev_caps_bps[ci].to_bits() {
+                    self.prev_caps_bps[ci] = bps;
+                    if !c.members.is_empty() {
+                        let comp = self.index.comps.constraint_component(ci);
+                        if !self.comp_dirty[comp as usize] {
+                            self.comp_dirty[comp as usize] = true;
+                            self.dirty_comps.push(comp);
+                        }
+                    }
+                }
+            }
+            for (i, d) in self.demands_scratch.iter().enumerate() {
+                let bps = d.as_bps();
+                if bps.to_bits() != self.prev_demands_bps[i].to_bits() {
+                    self.prev_demands_bps[i] = bps;
+                    let comp = self.index.comps.flow_component(i);
+                    if comp == NO_COMPONENT {
+                        self.rates_bps[i] = unconstrained_rate(*d);
+                    } else if !self.comp_dirty[comp as usize] {
+                        self.comp_dirty[comp as usize] = true;
+                        self.dirty_comps.push(comp);
+                    }
+                }
+            }
+            clock.lap(profiler.as_deref_mut(), "mesh.component_scan");
+
+            if self.alloc_jobs > 1 && self.dirty_comps.len() > 1 {
+                self.shard_fill();
+                clock.lap(profiler.as_deref_mut(), "mesh.shard_fill");
+            } else {
+                for k in 0..self.dirty_comps.len() {
+                    refill_component_into(
+                        self.dirty_comps[k],
+                        &self.demands_scratch,
+                        &self.index.constraints,
+                        &self.index.flow_cons_off,
+                        &self.index.flow_cons,
+                        &self.index.comps,
+                        &mut self.scratch,
+                        &mut self.rates_bps,
+                    );
+                }
+                clock.lap(profiler.as_deref_mut(), "mesh.delta_fill");
+            }
+        }
+        self.allocation.assign(&self.index.ids, &self.rates_bps);
+
+        self.update_usage_views(link_count);
+        clock.lap(profiler, "mesh.usage_views");
+    }
+
+    /// Fans this tick's dirty components out across `alloc_jobs` worker
+    /// threads (worker *w* takes components `w, w + jobs, …` of the
+    /// dirty list). Each worker fills into its own full-length rate
+    /// buffer with its own scratch; the caller then scatters exactly
+    /// each component's slots back into `rates_bps`. Because every
+    /// component fill is deterministic and components write disjoint
+    /// slots, the result is byte-identical to the serial refill for any
+    /// job count — the same ordered-slot argument the campaign runner
+    /// uses across replicas, applied inside one tick.
+    fn shard_fill(&mut self) {
+        let jobs = self.alloc_jobs.min(self.dirty_comps.len());
+        if self.shard_scratch.len() < jobs {
+            self.shard_scratch.resize_with(jobs, AllocScratch::default);
+        }
+        if self.shard_rates.len() < jobs {
+            self.shard_rates.resize_with(jobs, Vec::new);
+        }
+        let n = self.rates_bps.len();
+        let dirty = &self.dirty_comps;
+        let index = &self.index;
+        let demands = &self.demands_scratch;
+        let shard_scratch = &mut self.shard_scratch[..jobs];
+        let shard_rates = &mut self.shard_rates[..jobs];
+        std::thread::scope(|s| {
+            for (w, (scratch, rates)) in
+                shard_scratch.iter_mut().zip(shard_rates.iter_mut()).enumerate()
+            {
+                s.spawn(move || {
+                    // Stale values outside this worker's components are
+                    // never read: each fill resets its slots first.
+                    rates.resize(n, 0.0);
+                    let mut k = w;
+                    while k < dirty.len() {
+                        refill_component_into(
+                            dirty[k],
+                            demands,
+                            &index.constraints,
+                            &index.flow_cons_off,
+                            &index.flow_cons,
+                            &index.comps,
+                            scratch,
+                            rates,
+                        );
+                        k += jobs;
+                    }
+                });
+            }
+        });
+        for (k, &comp) in self.dirty_comps.iter().enumerate() {
+            let src = &self.shard_rates[k % jobs];
+            for &i in self.index.comps.flows_of(comp) {
+                self.rates_bps[i] = src[i];
+            }
+        }
     }
 
     /// The pre-incremental reference path, kept verbatim (fresh buffers,
@@ -899,13 +1174,14 @@ impl Mesh {
 
         // Per-link and per-node-egress usage for monitoring.
         self.link_used_bps = vec![0.0; self.topo.link_count()];
-        self.egress_used_bps.clear();
+        let max_node = self.topo.nodes().map(|n| n.0 as usize + 1).max().unwrap_or(0);
+        self.egress_used_bps = vec![0.0; max_node];
         for (i, id) in ids.iter().enumerate() {
             for lid in &self.flows[id].links {
                 self.link_used_bps[lid.0] += rates[i].as_bps();
             }
             for &node in &self.flows[id].egress {
-                *self.egress_used_bps.entry(node).or_insert(0.0) += rates[i].as_bps();
+                self.egress_used_bps[node.0 as usize] += rates[i].as_bps();
             }
         }
         self.allocation = allocation;
@@ -1096,11 +1372,16 @@ impl Mesh {
             .saturating_sub(Bandwidth::from_bps(self.link_used_bps[lid.0]));
         for n in [a, b] {
             if let Some(&c) = self.egress_caps.get(&n) {
-                let used = self.egress_used_bps.get(&n).copied().unwrap_or(0.0);
+                let used = self.egress_used(n);
                 avail = avail.min(c.saturating_sub(Bandwidth::from_bps(used)));
             }
         }
         Ok(avail)
+    }
+
+    /// Allocated bps currently leaving `node` (zero when nothing does).
+    fn egress_used(&self, node: NodeId) -> f64 {
+        self.egress_used_bps.get(node.0 as usize).copied().unwrap_or(0.0)
     }
 
     /// The routed node path from `src` to `dst` (the traceroute view).
@@ -1142,7 +1423,7 @@ impl Mesh {
             .effective_link_capacity(lid)
             .saturating_sub(Bandwidth::from_bps(self.link_used_bps[lid.0]));
         if let Some(&c) = self.egress_caps.get(&u) {
-            let used = self.egress_used_bps.get(&u).copied().unwrap_or(0.0);
+            let used = self.egress_used(u);
             avail = avail.min(c.saturating_sub(Bandwidth::from_bps(used)));
         }
         Ok(avail)
@@ -1623,5 +1904,79 @@ mod tests {
         }
         // The None sink stays a pure advance.
         mesh.advance_observed(SimDuration::from_millis(100), None);
+    }
+
+    /// A 4×4 grid mesh with flows spread over several links, some of
+    /// them loopback (unconstrained), driven identically under each
+    /// engine by `script`.
+    fn run_engine(engine: AllocEngine, jobs: usize) -> Vec<(u64, f64)> {
+        let mut mesh =
+            Mesh::with_uniform_capacity(Topology::grid(4, 4), mbps(60.0)).unwrap();
+        mesh.set_alloc_engine(engine);
+        mesh.set_alloc_jobs(jobs);
+        for i in 0..12u64 {
+            let src = NodeId((i % 16) as u32);
+            let dst = NodeId(((i * 5 + 3) % 16) as u32);
+            mesh.add_flow(src, dst, mbps(8.0 + i as f64)).unwrap();
+        }
+        for tick in 0..30u64 {
+            // Sparse perturbations: one link cap change every few ticks,
+            // one demand change on others, long quiescent stretches.
+            if tick % 5 == 0 {
+                let cap = if tick % 10 == 0 { Some(mbps(25.0)) } else { None };
+                mesh.set_link_cap(NodeId(0), NodeId(1), cap).unwrap();
+            }
+            if tick % 7 == 3 {
+                mesh.set_flow_demand(FlowId(tick % 12), mbps(3.0 + tick as f64)).unwrap();
+            }
+            if tick == 11 {
+                mesh.set_node_egress_cap(NodeId(5), Some(mbps(20.0))).unwrap();
+            }
+            if tick == 17 {
+                mesh.remove_flow(FlowId(2)).unwrap();
+            }
+            mesh.advance(SimDuration::from_millis(100));
+        }
+        (0..12u64)
+            .map(|i| (i, mesh.flow_rate(FlowId(i)).as_bps()))
+            .collect()
+    }
+
+    #[test]
+    fn delta_engine_is_bit_identical_to_dense_and_incremental() {
+        let dense = run_engine(AllocEngine::Dense, 1);
+        let incr = run_engine(AllocEngine::Incremental, 1);
+        let delta = run_engine(AllocEngine::Delta, 1);
+        assert_eq!(dense, incr);
+        assert_eq!(dense, delta);
+    }
+
+    #[test]
+    fn sharded_delta_is_byte_identical_to_serial() {
+        let serial = run_engine(AllocEngine::Delta, 1);
+        let sharded = run_engine(AllocEngine::Delta, 4);
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn delta_quiescent_tick_keeps_rates_verbatim() {
+        let mut mesh = three_node_lan();
+        mesh.set_alloc_engine(AllocEngine::Delta);
+        let f = mesh.add_flow(NodeId(0), NodeId(1), mbps(30.0)).unwrap();
+        mesh.advance(SimDuration::from_millis(100));
+        let before = mesh.flow_rate(f).as_bps();
+        // Constant capacities, satisfied demand: nothing is dirty, the
+        // rate must be the very same bits.
+        mesh.advance(SimDuration::from_millis(100));
+        assert_eq!(before.to_bits(), mesh.flow_rate(f).as_bps().to_bits());
+    }
+
+    #[test]
+    fn alloc_jobs_clamps_to_one() {
+        let mut mesh = three_node_lan();
+        mesh.set_alloc_jobs(0);
+        assert_eq!(mesh.alloc_jobs(), 1);
+        mesh.set_alloc_jobs(8);
+        assert_eq!(mesh.alloc_jobs(), 8);
     }
 }

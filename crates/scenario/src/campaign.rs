@@ -8,6 +8,17 @@
 //! worker threads exactly like the experiments runner's `--jobs`: a
 //! shared claim counter plus order-preserving result slots, so the
 //! summary is byte-identical whatever the thread count.
+//!
+//! Each replica's tick runs the seven profiled phases described in
+//! `docs/ARCHITECTURE.md` — `tick.faults`, `tick.scenario`,
+//! `tick.demand`, `tick.goodput`, `tick.controller`, `tick.migrate`,
+//! `tick.finalize` — and the campaign is engine-agnostic: any
+//! [`AllocEngine`] (dense, incremental, or delta) produces the same
+//! summary bytes, which CI enforces by running the whole battery once
+//! per engine. Determinism follows the repo-wide rules: per-replica
+//! seeds are forked from the campaign seed (never shared), worker
+//! threads only claim work and fill their own slot, and aggregation
+//! happens in replica order after the barrier.
 
 use crate::generate::{generate, AppKind, GeneratedScenario, WorkloadEvent};
 use crate::spec::{ScenarioSpec, SpecError};
@@ -409,6 +420,7 @@ fn engine_label(engine: AllocEngine) -> &'static str {
     match engine {
         AllocEngine::Dense => "dense",
         AllocEngine::Incremental => "incremental",
+        AllocEngine::Delta => "delta",
     }
 }
 

@@ -1,6 +1,7 @@
 //! Campaign-runner determinism battery: thread-count independence,
 //! same-seed replay, engine agreement, and summary sanity. The engine
-//! under test follows `BASS_TEST_ENGINE` (`dense` or `incremental`), so
+//! under test follows `BASS_TEST_ENGINE` (`dense`, `delta`, or
+//! `incremental`), so
 //! CI runs the whole file once per engine.
 
 use bass::mesh::AllocEngine;
@@ -12,6 +13,7 @@ use serde_json::Value;
 fn engine_under_test() -> AllocEngine {
     match std::env::var("BASS_TEST_ENGINE").as_deref() {
         Ok("dense") => AllocEngine::Dense,
+        Ok("delta") => AllocEngine::Delta,
         _ => AllocEngine::Incremental,
     }
 }
