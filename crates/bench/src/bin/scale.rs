@@ -26,8 +26,10 @@
 //! delta beats incremental at the 500-node rung) to keep this harness
 //! from rotting.
 
+use bass_core::StepMode;
 use bass_mesh::mesh::AllocEngine;
 use bass_mesh::{CapacitySource, Mesh, NodeId, Topology};
+use bass_scenario::{CampaignOptions, ScenarioSpec, TopologySpec};
 use bass_util::rng::SimRng;
 use bass_util::time::SimDuration;
 use bass_util::units::Bandwidth;
@@ -68,8 +70,13 @@ struct SizeResult {
     incremental: EngineResult,
     /// The delta engine (`AllocEngine::Delta`), serial.
     delta: EngineResult,
-    /// The delta engine with a 4-thread sharded component fill; only
-    /// measured where several districts exist to fan out.
+    /// Serial delta under the fan-out stream (one capped link per
+    /// district per tick — every district dirty): the baseline the
+    /// sharded fill is gated against.
+    delta_fanout: Option<EngineResult>,
+    /// The delta engine with a 4-thread sharded component fill, under
+    /// the same fan-out stream; only measured where several districts
+    /// exist to fan out.
     delta_sharded: Option<EngineResult>,
     /// The pre-incremental reference (`AllocEngine::Dense`); skipped at
     /// sizes where a single dense tick is impractically slow.
@@ -78,6 +85,25 @@ struct SizeResult {
     speedup: Option<f64>,
     /// `delta.ticks_per_sec / incremental.ticks_per_sec`.
     delta_speedup: f64,
+}
+
+/// Ticked vs event-driven throughput on the quiescence-heavy city-500
+/// campaign (see `docs/PERFORMANCE.md`).
+#[derive(Debug, Clone, Serialize)]
+struct StepModeResult {
+    /// Scenario name (`"city-500"`).
+    scenario: String,
+    /// Ticks per replica.
+    horizon_ticks: u64,
+    /// One-time scenario/mesh setup (identical in both modes; excluded
+    /// from the throughput numbers below).
+    setup_s: f64,
+    /// The reference loop, executing every tick.
+    ticked: EngineResult,
+    /// The event-driven loop, skipping provably quiescent windows.
+    event_driven: EngineResult,
+    /// `event_driven.ticks_per_sec / ticked.ticks_per_sec`.
+    speedup: f64,
 }
 
 /// The whole `BENCH_mesh.json` document.
@@ -91,6 +117,8 @@ struct BenchReport {
     step_ms: u64,
     /// One entry per point on the size ladder.
     sizes: Vec<SizeResult>,
+    /// The event-driven rung: ticked vs event-driven on city-500.
+    event_driven: StepModeResult,
 }
 
 /// Builds a connected row-major grid: node `i` links right to `i+1`
@@ -174,17 +202,36 @@ fn build_mesh(nodes: usize, flows: usize, engine: AllocEngine, jobs: usize) -> M
 /// inert) — the sparse-perturbation regime the delta engine targets.
 /// The perturbation stream depends only on the seed and the tick index,
 /// so every engine replays the identical workload.
-fn measure(mut mesh: Mesh, nodes: usize, step: SimDuration, window_s: f64) -> EngineResult {
-    let links: Vec<(NodeId, NodeId)> = mesh
-        .topology()
-        .links()
-        .map(|(_, l)| (l.a, l.b))
-        .collect();
+/// When `fanout` is false each tick caps one random link mesh-wide —
+/// at most one dirty district, the sparse regime. When true each tick
+/// caps one random link *in every district*, dirtying them all at once
+/// — the storm-recovery regime the sharded fill exists for, and the
+/// only stream where `delta x4` and serial delta run different code.
+fn measure(
+    mut mesh: Mesh,
+    nodes: usize,
+    step: SimDuration,
+    window_s: f64,
+    fanout: bool,
+) -> EngineResult {
+    let districts = district_count(nodes);
+    let per_district = nodes.div_ceil(districts);
+    let groups: Vec<Vec<(NodeId, NodeId)>> = if fanout {
+        let mut groups = vec![Vec::new(); districts];
+        for (_, l) in mesh.topology().links() {
+            groups[(l.a.0 as usize / per_district).min(districts - 1)].push((l.a, l.b));
+        }
+        groups
+    } else {
+        vec![mesh.topology().links().map(|(_, l)| (l.a, l.b)).collect()]
+    };
     let mut rng = SimRng::seed_from_u64(SEED ^ 0xD15F ^ nodes as u64);
     let perturb = |mesh: &mut Mesh, rng: &mut SimRng| {
-        let (a, b) = links[rng.below(links.len() as u64) as usize];
-        let cap = Bandwidth::from_mbps(rng.uniform(30.0, 120.0));
-        mesh.set_link_cap(a, b, Some(cap)).expect("link exists");
+        for group in &groups {
+            let (a, b) = group[rng.below(group.len() as u64) as usize];
+            let cap = Bandwidth::from_mbps(rng.uniform(30.0, 120.0));
+            mesh.set_link_cap(a, b, Some(cap)).expect("link exists");
+        }
     };
     for _ in 0..3 {
         perturb(&mut mesh, &mut rng);
@@ -205,6 +252,64 @@ fn measure(mut mesh: Mesh, nodes: usize, step: SimDuration, window_s: f64) -> En
             };
         }
     }
+}
+
+/// The quiescence-heavy city-500 scenario the event-driven rung runs:
+/// 500 nodes, under-subscribed OU links sampled every 60 s, rare fades,
+/// slow churn, no fault storm — long stretches where every tick is a
+/// provable no-op, which is exactly the regime community meshes sit in
+/// overnight (see `docs/PERFORMANCE.md`).
+fn city500_spec(horizon_ticks: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::small_reference();
+    spec.name = "city-500".to_string();
+    spec.topology = TopologySpec::RandomGeometric { nodes: 500, radius: 0.12 };
+    spec.nodes.gateways = 8;
+    // Under-subscribed, mildly varying links on a coarse sample grid:
+    // capacity change-points arrive once a minute, aligned across links.
+    spec.links.mean_mbps_min = 40.0;
+    spec.links.mean_mbps_max = 80.0;
+    spec.links.relative_std_min = 0.02;
+    spec.links.relative_std_max = 0.05;
+    spec.links.sample_interval_s = 60.0;
+    spec.links.fade_rate_per_min = 0.005;
+    spec.workload.max_concurrent = 20;
+    spec.workload.initial_apps = 8;
+    spec.workload.arrival_rate_per_s = 0.002;
+    spec.workload.mean_lifetime_s = 4000.0;
+    spec.faults = None;
+    spec.horizon_ticks = horizon_ticks;
+    spec.step_ms = 1000;
+    spec.sample_every_ticks = 100;
+    spec.replicas = 1;
+    spec
+}
+
+/// Runs the city-500 campaign in one step mode and reports simulated
+/// ticks per wall-clock second plus the summary bytes (the caller
+/// cross-checks the two modes byte-for-byte). Throughput is measured
+/// over stepping time only: the one-time scenario/mesh setup — identical
+/// work in both modes, reported separately as `setup_s` — is subtracted
+/// via the `campaign.setup` span so the rung compares the loops, not
+/// the constructor. Same convention as the ladder above, which also
+/// builds its mesh outside the timed region.
+fn measure_campaign(spec: &ScenarioSpec, step_mode: StepMode) -> (EngineResult, f64, String) {
+    let opts = CampaignOptions { step_mode, profile: true, ..CampaignOptions::default() };
+    let started = std::time::Instant::now();
+    let run = bass_scenario::run_campaign_opts(spec, SEED, &opts)
+        .expect("city-500 campaign runs");
+    let elapsed = started.elapsed().as_secs_f64();
+    let setup_s = run
+        .profiler
+        .as_ref()
+        .and_then(|p| p.stats("campaign.setup"))
+        .map_or(0.0, |s| s.total_ns as f64 / 1e9);
+    let stepping = (elapsed - setup_s).max(1e-9);
+    let ticks = run.summary.aggregate.ticks;
+    (
+        EngineResult { ticks, elapsed_s: stepping, ticks_per_sec: ticks as f64 / stepping },
+        setup_s,
+        run.summary.to_json(),
+    )
 }
 
 fn main() -> ExitCode {
@@ -235,8 +340,10 @@ fn main() -> ExitCode {
     // The dense path is O(links × flows × path-len) per tick, so above
     // 100 nodes a single dense point would dominate the whole run; the
     // incremental and delta ladders keep going to show the trend.
+    // Quick keeps the 1000-node point: it is the rung CI's smoke gate
+    // uses to assert the sharded fill never falls behind serial delta.
     let (ladder, window_s, dense_max_nodes): (&[(usize, usize)], f64, usize) = if quick {
-        (&[(10, 50), (100, 1000), (500, 5000)], 0.05, 100)
+        (&[(10, 50), (100, 1000), (500, 5000), (1000, 10000)], 0.05, 100)
     } else {
         (
             &[
@@ -259,13 +366,21 @@ fn main() -> ExitCode {
         let mesh = build_mesh(nodes, flows, AllocEngine::Incremental, 1);
         let links = mesh.topology().link_count();
         let districts = district_count(nodes);
-        let incremental = measure(mesh, nodes, step, window_s);
-        let delta = measure(build_mesh(nodes, flows, AllocEngine::Delta, 1), nodes, step, window_s);
+        let incremental = measure(mesh, nodes, step, window_s, false);
+        let delta =
+            measure(build_mesh(nodes, flows, AllocEngine::Delta, 1), nodes, step, window_s, false);
+        // The sharded comparison runs under the fan-out stream (all
+        // districts dirty each tick) for both job counts: that is the
+        // regime where the two fills actually diverge, and the pair CI
+        // gates on (`delta x4` must never fall behind serial delta).
+        let delta_fanout = (districts > 1).then(|| {
+            measure(build_mesh(nodes, flows, AllocEngine::Delta, 1), nodes, step, window_s, true)
+        });
         let delta_sharded = (districts > 1).then(|| {
-            measure(build_mesh(nodes, flows, AllocEngine::Delta, 4), nodes, step, window_s)
+            measure(build_mesh(nodes, flows, AllocEngine::Delta, 4), nodes, step, window_s, true)
         });
         let dense = (nodes <= dense_max_nodes).then(|| {
-            measure(build_mesh(nodes, flows, AllocEngine::Dense, 1), nodes, step, window_s)
+            measure(build_mesh(nodes, flows, AllocEngine::Dense, 1), nodes, step, window_s, false)
         });
         let speedup = dense
             .as_ref()
@@ -276,9 +391,14 @@ fn main() -> ExitCode {
              incremental {:>9.0} ticks/s | delta {:>9.0} ticks/s ({delta_speedup:.1}x){}{}",
             incremental.ticks_per_sec,
             delta.ticks_per_sec,
-            match &delta_sharded {
-                Some(s) => format!(" | delta x4 {:>9.0} ticks/s", s.ticks_per_sec),
-                None => String::new(),
+            match (&delta_fanout, &delta_sharded) {
+                (Some(f), Some(s)) => format!(
+                    " | fanout serial {:>8.0} vs x4 {:>8.0} ticks/s ({:.1}x)",
+                    f.ticks_per_sec,
+                    s.ticks_per_sec,
+                    s.ticks_per_sec / f.ticks_per_sec
+                ),
+                _ => String::new(),
             },
             match (&dense, speedup) {
                 (Some(d), Some(s)) =>
@@ -293,6 +413,7 @@ fn main() -> ExitCode {
             districts,
             incremental,
             delta,
+            delta_fanout,
             delta_sharded,
             dense,
             speedup,
@@ -300,11 +421,41 @@ fn main() -> ExitCode {
         });
     }
 
+    // The event-driven rung: the same city-500 campaign through both
+    // step modes. The summaries must match byte-for-byte — a throughput
+    // number for a run that drifted would be meaningless.
+    let spec = city500_spec(if quick { 800 } else { 6_000 });
+    let (ticked, ticked_setup, ticked_summary) = measure_campaign(&spec, StepMode::Ticked);
+    let (event_driven, event_setup, event_summary) =
+        measure_campaign(&spec, StepMode::EventDriven);
+    if ticked_summary != event_summary {
+        eprintln!("event-driven city-500 summary diverged from ticked mode");
+        return ExitCode::FAILURE;
+    }
+    let ed_speedup = event_driven.ticks_per_sec / ticked.ticks_per_sec;
+    println!(
+        "city-500 x {} ticks | ticked {:>7.0} ticks/s | event-driven {:>8.0} ticks/s \
+         ({ed_speedup:.1}x, setup {:.2}s excluded, summaries byte-identical)",
+        spec.horizon_ticks,
+        ticked.ticks_per_sec,
+        event_driven.ticks_per_sec,
+        ticked_setup + event_setup,
+    );
+    let event_driven = StepModeResult {
+        scenario: spec.name.clone(),
+        horizon_ticks: spec.horizon_ticks,
+        setup_s: ticked_setup + event_setup,
+        ticked,
+        event_driven,
+        speedup: ed_speedup,
+    };
+
     let report = BenchReport {
         bench: "mesh_scale".to_owned(),
         mode: if quick { "quick" } else { "full" }.to_owned(),
         step_ms: 100,
         sizes,
+        event_driven,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     if let Err(e) = std::fs::write(&out, json) {

@@ -6,11 +6,13 @@
 //! bassctl simulate --manifest app.json --testbed mesh.json [--policy …] [--duration SECS]
 //!                  [--no-migrations] [--seed N] [--json] [--journal events.jsonl]
 //!                  [--faults plan.json] [--engine dense|incremental|delta]
-//!                  [--alloc-jobs N] [--metrics-out metrics.prom]
+//!                  [--alloc-jobs N] [--step-mode ticked|event-driven]
+//!                  [--metrics-out metrics.prom]
 //! bassctl recommend --manifest app.json --testbed mesh.json [--json]
 //! bassctl traces   --testbed mesh.json [--duration SECS] [--seed N]
 //! bassctl campaign --spec scenario.json [--seed N] [--jobs N] [--out summary.json]
-//!                  [--engine dense|incremental|delta] [--journal events.jsonl]
+//!                  [--engine dense|incremental|delta] [--alloc-jobs N]
+//!                  [--step-mode ticked|event-driven] [--journal events.jsonl]
 //!                  [--metrics-out metrics.prom] [--profile]
 //!                  [--progress[=off|info|debug]]
 //! bassctl metrics  --in metrics.prom [--diff other.prom | --lint]
@@ -46,6 +48,7 @@ struct Args {
     faults: Option<String>,
     engine: bass_mesh::AllocEngine,
     alloc_jobs: usize,
+    step_mode: bass_core::StepMode,
     metrics_out: Option<String>,
     profile: bool,
     progress: bass_obs::ProgressLevel,
@@ -94,6 +97,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         faults: None,
         engine: bass_mesh::AllocEngine::default(),
         alloc_jobs: 1,
+        step_mode: bass_core::StepMode::Ticked,
         metrics_out: None,
         profile: false,
         progress: bass_obs::ProgressLevel::Off,
@@ -139,6 +143,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
                 if args.alloc_jobs == 0 {
                     return Err("--alloc-jobs must be at least 1".to_string());
                 }
+            }
+            "--step-mode" => {
+                args.step_mode = bass_core::StepMode::parse(&value("--step-mode")?)?
             }
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--profile" => args.profile = true,
@@ -265,6 +272,7 @@ fn run() -> Result<(), String> {
                     faults: args.faults.clone().map(std::path::PathBuf::from),
                     engine: args.engine,
                     alloc_jobs: args.alloc_jobs,
+                    step_mode: args.step_mode,
                     metrics_out: args.metrics_out.clone().map(std::path::PathBuf::from),
                 },
             )
@@ -303,6 +311,8 @@ fn run() -> Result<(), String> {
             let opts = bass_cli::CampaignCommandOptions {
                 jobs: args.jobs,
                 engine: args.engine,
+                alloc_jobs: args.alloc_jobs,
+                step_mode: args.step_mode,
                 journal: args.journal.clone().map(std::path::PathBuf::from),
                 metrics_out: args.metrics_out.clone().map(std::path::PathBuf::from),
                 profile: args.profile,

@@ -176,6 +176,11 @@ pub struct SimulateOptions {
     /// (`--alloc-jobs`; ≥1, byte-identical outputs at any value; other
     /// engines ignore it).
     pub alloc_jobs: usize,
+    /// How the simulation loop advances time (`--step-mode
+    /// ticked|event-driven`). Event-driven runs skip provably quiescent
+    /// tick windows; every output stays byte-identical to ticked mode
+    /// (see `docs/ARCHITECTURE.md`).
+    pub step_mode: bass_core::StepMode,
     /// When set, enable span profiling and write a Prometheus
     /// text-format exposition of the run's metrics registry plus
     /// per-phase span aggregates to this path (see
@@ -194,6 +199,7 @@ impl Default for SimulateOptions {
             faults: None,
             engine: bass_mesh::AllocEngine::default(),
             alloc_jobs: 1,
+            step_mode: bass_core::StepMode::Ticked,
             metrics_out: None,
         }
     }
@@ -247,6 +253,7 @@ pub fn simulate(
         faults,
         alloc_engine: opts.engine,
         alloc_jobs: opts.alloc_jobs,
+        step_mode: opts.step_mode,
         ..Default::default()
     };
     let mut env = SimEnv::new(mesh, cluster, dag, cfg);
@@ -389,6 +396,13 @@ pub struct CampaignCommandOptions {
     pub jobs: usize,
     /// Max-min allocation engine (`--engine dense|incremental|delta`).
     pub engine: bass_mesh::AllocEngine,
+    /// Worker threads for the delta engine's sharded component fill
+    /// inside each replica (`--alloc-jobs`; ≥1, byte-identical outputs
+    /// at any value; other engines ignore it).
+    pub alloc_jobs: usize,
+    /// How each replica's loop advances time (`--step-mode
+    /// ticked|event-driven`); summaries stay byte-identical either way.
+    pub step_mode: bass_core::StepMode,
     /// When set, write one `campaign_replica_completed` event per
     /// replica to this JSONL path after the run.
     pub journal: Option<std::path::PathBuf>,
@@ -409,6 +423,8 @@ impl Default for CampaignCommandOptions {
         CampaignCommandOptions {
             jobs: 1,
             engine: bass_mesh::AllocEngine::default(),
+            alloc_jobs: 1,
+            step_mode: bass_core::StepMode::Ticked,
             journal: None,
             metrics_out: None,
             profile: false,
@@ -436,6 +452,8 @@ pub fn campaign(
     let scn_opts = bass_scenario::CampaignOptions {
         jobs: opts.jobs,
         engine: opts.engine,
+        alloc_jobs: opts.alloc_jobs,
+        step_mode: opts.step_mode,
         profile: opts.profile || opts.metrics_out.is_some(),
         progress: opts.progress,
     };
@@ -618,6 +636,7 @@ mod tests {
                 faults: None,
                 engine: bass_mesh::AllocEngine::default(),
                 alloc_jobs: 1,
+                step_mode: bass_core::StepMode::Ticked,
                 metrics_out: None,
             },
         )

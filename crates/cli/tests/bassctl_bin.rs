@@ -378,6 +378,114 @@ fn simulate_metrics_out_writes_exposition_without_journal() {
 }
 
 #[test]
+fn simulate_step_mode_event_driven_matches_ticked_byte_for_byte() {
+    let dir = temp_dir("step_mode");
+    let (app, mesh) = write_schema_files(&dir);
+    let run = |mode: &str| {
+        let journal = dir.join(format!("{mode}.jsonl"));
+        let out = bassctl()
+            .args(["simulate", "--manifest"])
+            .arg(&app)
+            .arg("--testbed")
+            .arg(&mesh)
+            .args(["--duration", "120", "--json", "--step-mode", mode, "--journal"])
+            .arg(&journal)
+            .output()
+            .expect("bassctl runs");
+        assert!(out.status.success(), "{mode}: {}", String::from_utf8_lossy(&out.stderr));
+        (out.stdout, std::fs::read(&journal).expect("journal written"))
+    };
+    let (ticked_json, ticked_journal) = run("ticked");
+    let (event_json, event_journal) = run("event-driven");
+    assert_eq!(ticked_json, event_json, "outcome JSON must not depend on step mode");
+    assert_eq!(ticked_journal, event_journal, "journals must not depend on step mode");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_step_mode_and_alloc_jobs_keep_summary_bytes() {
+    let dir = temp_dir("campaign_step_mode");
+    let spec = write_campaign_spec(&dir, 80);
+    let run = |extra: &[&str]| {
+        let out_path = dir.join(format!("summary_{}.json", extra.len()));
+        let out = bassctl()
+            .args(["campaign", "--spec"])
+            .arg(&spec)
+            .args(["--engine", "delta"])
+            .args(extra)
+            .arg("--out")
+            .arg(&out_path)
+            .output()
+            .expect("bassctl runs");
+        assert!(out.status.success(), "{extra:?}: {}", String::from_utf8_lossy(&out.stderr));
+        std::fs::read(&out_path).expect("summary written")
+    };
+    let base = run(&[]);
+    let event = run(&["--step-mode", "event-driven", "--alloc-jobs", "2"]);
+    assert_eq!(base, event, "summary bytes must not depend on step mode or alloc jobs");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_step_mode_fails_cleanly() {
+    let out = bassctl()
+        .args(["simulate", "--step-mode", "warp"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown step mode 'warp'"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn faults_plan_on_nonexistent_node_fails_cleanly() {
+    let dir = temp_dir("ghost_node");
+    let (app, mesh) = write_schema_files(&dir);
+    let plan = bass_faults::FaultPlan::new().node_crash(
+        bass_mesh::NodeId(99),
+        bass_util::time::SimTime::from_secs_f64(5.0),
+        bass_util::time::SimTime::from_secs_f64(30.0),
+    );
+    let plan_path = dir.join("plan.json");
+    std::fs::write(&plan_path, serde_json::to_string(&plan).expect("serializable"))
+        .expect("write plan");
+    let out = bassctl()
+        .args(["simulate", "--manifest"])
+        .arg(&app)
+        .arg("--testbed")
+        .arg(&mesh)
+        .args(["--duration", "60", "--faults"])
+        .arg(&plan_path)
+        .output()
+        .expect("bassctl runs");
+    assert!(!out.status.success(), "crashing node 99 must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown node"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn malformed_campaign_spec_fails_cleanly() {
+    let dir = temp_dir("bad_spec");
+    // Truncated JSON and structurally-wrong JSON both reject cleanly.
+    for (name, text) in [("truncated.json", "{\"name\": \"oops\""), ("wrong.json", "[1, 2, 3]")] {
+        let path = dir.join(name);
+        std::fs::write(&path, text).expect("write spec");
+        let out = bassctl()
+            .args(["campaign", "--spec"])
+            .arg(&path)
+            .output()
+            .expect("bassctl runs");
+        assert!(!out.status.success(), "{name} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("cannot parse"), "{name}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{name}: {stderr}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown command.
     let out = bassctl().arg("frobnicate").output().expect("runs");

@@ -21,6 +21,9 @@
 //! - [`controller`]: the bandwidth controller (§4.3) — headroom
 //!   monitoring, full-probe escalation, cooldowns, and migration
 //!   planning.
+//! - [`events`]: the event-driven stepping primitives — the
+//!   [`StepMode`] switch and the [`EventQueue`] a next-event scanner
+//!   folds over to skip quiescent tick windows byte-identically.
 //! - [`planner`]: what-if evaluation of every policy on a scratch
 //!   cluster, automating §3.2.1's "developer picks the heuristic".
 //! - [`tuning`]: the §8 auto-tuning extension for (threshold, headroom).
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod events;
 pub mod heuristics;
 pub mod migration;
 pub mod placement;
@@ -44,6 +48,7 @@ pub mod scheduler;
 pub mod tuning;
 
 pub use controller::{BassController, ControllerConfig, ControllerOutcome, MigrationPlan};
+pub use events::{EventQueue, EventSource, SimEvent, StepMode};
 pub use heuristics::{BfsWeighting, ComponentOrdering, HeuristicError};
 pub use placement::PlacementError;
 pub use scheduler::{BassScheduler, SchedulerPolicy};

@@ -6,7 +6,9 @@ use bass_cluster::{Cluster, MigrationRecord, Placement, RestartModel};
 use bass_core::heuristics::ComponentOrdering;
 use bass_core::placement::pack_ordering;
 use bass_core::scheduler::{BassScheduler, ScheduleError, SchedulerPolicy};
-use bass_core::{BassController, ControllerConfig, MigrationPlan};
+use bass_core::{
+    BassController, ControllerConfig, EventQueue, EventSource, MigrationPlan, SimEvent, StepMode,
+};
 use bass_faults::{Fault, FaultPlan};
 use bass_mesh::{AllocEngine, FlowId, Mesh, MeshError, NodeId};
 use bass_netmon::{GoodputMonitor, NetMonitor, NetMonitorConfig, OnlineProfiler};
@@ -66,6 +68,12 @@ pub struct SimEnvConfig {
     /// (≥1; other engines ignore it). Allocations are byte-identical at
     /// any job count, so this only changes wall-clock.
     pub alloc_jobs: usize,
+    /// How [`SimEnv::run_for`] advances time. The default
+    /// [`StepMode::Ticked`] executes every step;
+    /// [`StepMode::EventDriven`] skips provably quiescent tick windows
+    /// (see [`SimEnv::skippable_ticks`]) with byte-identical results and
+    /// journals. Only changes wall-clock.
+    pub step_mode: StepMode,
 }
 
 impl Default for SimEnvConfig {
@@ -83,6 +91,7 @@ impl Default for SimEnvConfig {
             faults: FaultPlan::new(),
             alloc_engine: AllocEngine::default(),
             alloc_jobs: 1,
+            step_mode: StepMode::default(),
         }
     }
 }
@@ -189,6 +198,11 @@ pub struct SimEnv {
     spans: Option<bass_obs::SpanProfiler>,
     /// Components evicted by a node crash, awaiting re-placement.
     displaced: BTreeSet<ComponentId>,
+    /// Bumped by every public mutator that can invalidate an in-flight
+    /// quiescence proof. The event-driven `run_for` loop snapshots it
+    /// before handing control to the per-tick hook and falls back to a
+    /// full step when it moved (see [`SimEnv::skippable_ticks`]).
+    mutation_epoch: u64,
     /// Probe-loss episodes started so far — each gets its own forked RNG
     /// stream off the fault plan's seed, so episode k draws identically
     /// across replays regardless of what happened in between.
@@ -221,18 +235,21 @@ impl SimEnv {
             journal: None,
             spans: None,
             displaced: BTreeSet::new(),
+            mutation_epoch: 0,
             probe_loss_episodes: 0,
         }
     }
 
     /// Installs the network scenario script.
     pub fn set_scenario(&mut self, scenario: Scenario) {
+        self.mutation_epoch += 1;
         self.scenario = scenario;
     }
 
     /// Installs (or replaces) the fault-injection schedule. Equivalent to
     /// setting [`SimEnvConfig::faults`] before construction.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.mutation_epoch += 1;
         self.cfg.faults = plan;
     }
 
@@ -299,6 +316,17 @@ impl SimEnv {
         self.spans.as_ref()
     }
 
+    /// Folds an externally timed duration into the span taxonomy under
+    /// `name` (no-op without profiling). Harnesses use this to account
+    /// for setup work — scenario generation, mesh construction — that
+    /// happens before the environment exists, so benches can separate
+    /// one-time costs from stepping throughput.
+    pub fn record_span(&mut self, name: &'static str, d: std::time::Duration) {
+        if let Some(p) = &mut self.spans {
+            p.record(name, d);
+        }
+    }
+
     /// Runs `f` against the environment, recording its wall-clock
     /// duration as `name` when span profiling is enabled. The profiler
     /// is parked for the duration of the call, so `f` sees an
@@ -320,6 +348,7 @@ impl SimEnv {
     /// [`SimEnv::profiled_requirements`] returns learned requirements
     /// that could replace the manifest's offline-profiled weights.
     pub fn enable_online_profiling(&mut self, profiler: OnlineProfiler) {
+        self.mutation_epoch += 1;
         self.profiler = Some(profiler);
     }
 
@@ -469,6 +498,7 @@ impl SimEnv {
     /// requirement (1.0 = at requirement). Workload models call this to
     /// express time-varying load.
     pub fn set_edge_demand_factor(&mut self, from: ComponentId, to: ComponentId, factor: f64) {
+        self.mutation_epoch += 1;
         self.demand_factor.insert((from, to), factor.max(0.0));
     }
 
@@ -504,6 +534,7 @@ impl SimEnv {
         app: &AppDag,
         id_offset: u32,
     ) -> Result<Vec<ComponentId>, EnvError> {
+        self.mutation_epoch += 1;
         self.with_span("env.admit_app", |env| env.admit_app_inner(app, id_offset))
     }
 
@@ -608,6 +639,7 @@ impl SimEnv {
         label: &str,
         components: &[ComponentId],
     ) -> Result<(), EnvError> {
+        self.mutation_epoch += 1;
         self.with_span("env.retire_app", |env| env.retire_app_inner(label, components))
     }
 
@@ -810,6 +842,17 @@ impl SimEnv {
 
     /// Runs for `duration`, invoking `hook` after every step.
     ///
+    /// Under [`StepMode::Ticked`] every step executes in full. Under
+    /// [`StepMode::EventDriven`] the loop follows each full step with as
+    /// many provably quiescent skipped ticks as
+    /// [`skippable_ticks`](Self::skippable_ticks) allows; `hook` still
+    /// runs after every simulated tick, skipped or not, and a hook that
+    /// mutates the environment immediately demotes the rest of its
+    /// window back to full steps. Results, stats, and journal contents
+    /// are byte-identical across the two modes — only wall-clock (and
+    /// span-profiler counts, which track work actually performed)
+    /// differs.
+    ///
     /// # Errors
     ///
     /// Stops at the first step error.
@@ -819,11 +862,140 @@ impl SimEnv {
         mut hook: impl FnMut(&mut SimEnv),
     ) -> Result<(), EnvError> {
         let end = self.mesh.now() + duration;
+        let step_us = self.cfg.step.as_micros();
         while self.mesh.now() < end {
             self.step()?;
             hook(self);
+            if self.cfg.step_mode != StepMode::EventDriven || step_us == 0 {
+                continue;
+            }
+            'skip: while self.mesh.now() < end {
+                let remaining =
+                    end.saturating_since(self.mesh.now()).as_micros().div_ceil(step_us);
+                let window = self.skippable_ticks(remaining);
+                if window == 0 {
+                    break;
+                }
+                for _ in 0..window {
+                    let epoch = self.mutation_epoch;
+                    self.skip_quiescent_ticks(1);
+                    hook(self);
+                    if self.mutation_epoch != epoch {
+                        // The hook mutated the environment at this tick
+                        // boundary; the rest of the window is no longer
+                        // proven. Fall back to a full step.
+                        break 'skip;
+                    }
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Upper bound on how many consecutive ticks, starting now, are
+    /// provably quiescent — i.e. executing them in full would change
+    /// nothing but the clock. Returns at most `max_ticks`, and 0
+    /// whenever quiescence cannot be proven.
+    ///
+    /// A tick is quiescent when every input to [`step`](Self::step) is
+    /// bitwise unchanged and every flow queue is at a bitwise fixed
+    /// point ([`Mesh::queues_quiescent`]): the fault plan, the scenario
+    /// script, and adaptive-routing refreshes are evaluated against the
+    /// tick's **pre-advance** clock, while trace change-points,
+    /// controller probe epochs, and restart expiries are bounded on the
+    /// **post-advance** clock (see
+    /// [`EventSource::pre_advance`](bass_core::EventSource::pre_advance)
+    /// for why expiries take the stricter side) — so with `t0 = now()`,
+    /// a pre-advance event at `t` caps the window at `⌈(t − t0)/step⌉`
+    /// ticks and a post-advance event at `⌈(t − t0)/step⌉ − 1` (its tick
+    /// *ends* at or after `t`). The controller is a guaranteed no-op
+    /// between headroom-probe epochs, so probe epochs are the only
+    /// controller events that matter; probe ticks themselves always
+    /// execute in full. Online profiling, pending displaced components,
+    /// and an undeployed environment disable skipping entirely.
+    pub fn skippable_ticks(&self, max_ticks: u64) -> u64 {
+        let step = self.cfg.step;
+        let step_us = step.as_micros();
+        if max_ticks == 0
+            || step_us == 0
+            || !self.deployed
+            || !self.displaced.is_empty()
+            || self.profiler.is_some()
+            || !self.mesh.queues_quiescent(step)
+        {
+            return 0;
+        }
+        let t0 = self.mesh.now();
+        let mut queue = EventQueue::new();
+        if let Some(t) = self.cfg.faults.next_at() {
+            queue.push(SimEvent { at: t, source: EventSource::Fault });
+        }
+        if let Some(t) = self.scenario.next_at() {
+            queue.push(SimEvent { at: t, source: EventSource::Scenario });
+        }
+        if let Some(interval) = self.cfg.adaptive_routing {
+            queue.push(SimEvent {
+                at: self.last_route_update + interval,
+                source: EventSource::RouteUpdate,
+            });
+        }
+        for &(start, model) in self.restarts.values() {
+            let expiry = start + model.downtime;
+            // An expiry both clocks passed by the last executed tick
+            // (pre-advance `t0 − step`, post-advance `t0`) can never
+            // change a future tick; keeping it would pin the bound at 0.
+            // One in `(t0 − step, t0]` still flips the *next* tick's
+            // pre-advance demand push — the post-advance cap formula
+            // yields 0 for it, forcing that tick to execute in full.
+            if expiry.as_micros() + step_us <= t0.as_micros() {
+                continue;
+            }
+            queue.push(SimEvent { at: expiry, source: EventSource::RestartExpiry });
+        }
+        if let Some(t) = self.mesh.next_trace_change_after(t0) {
+            queue.push(SimEvent { at: t, source: EventSource::TraceChange });
+        }
+        if self.cfg.migrations_enabled {
+            queue.push(SimEvent {
+                at: self.netmon.next_headroom_probe_at(),
+                source: EventSource::ProbeEpoch,
+            });
+        }
+        let mut bound = max_ticks;
+        while let Some(ev) = queue.pop() {
+            let ticks_to_reach =
+                ev.at.as_micros().saturating_sub(t0.as_micros()).div_ceil(step_us);
+            let cap = if ev.source.pre_advance() {
+                ticks_to_reach
+            } else {
+                ticks_to_reach.saturating_sub(1)
+            };
+            bound = bound.min(cap);
+            if bound == 0 {
+                return 0;
+            }
+        }
+        bound
+    }
+
+    /// Advances `ticks` quiescent ticks: moves the clock and stamps each
+    /// tick's `TickCompleted` journal event at its true time, nothing
+    /// else. Only sound for ticks [`skippable_ticks`](Self::skippable_ticks)
+    /// vouched for — a quiescent tick's full execution emits exactly the
+    /// `TickCompleted` event (every capacity/flow-rate diff is empty and
+    /// the controller never wakes), so the journal stays byte-identical.
+    pub fn skip_quiescent_ticks(&mut self, ticks: u64) {
+        for _ in 0..ticks {
+            self.mesh.advance_quiescent(self.cfg.step);
+            if let Some(j) = self.journal.as_mut() {
+                j.record(bass_obs::Event::TickCompleted {
+                    t_s: self.mesh.now().as_secs_f64(),
+                    step_ms: self.cfg.step.as_secs_f64() * 1e3,
+                    flows: self.mesh.flow_count() as u32,
+                    migrations_total: self.stats.migrations.len() as u64,
+                });
+            }
+        }
     }
 
     /// Applies one injected fault and journals it. Returns `true` when
@@ -1023,6 +1195,7 @@ impl SimEnv {
     /// Mutable access to the mesh, for workloads that manage additional
     /// flows (e.g. video-conference client traffic).
     pub fn mesh_mut(&mut self) -> &mut Mesh {
+        self.mutation_epoch += 1;
         &mut self.mesh
     }
 
@@ -1058,6 +1231,7 @@ impl SimEnv {
     /// Marks a component as restarted now (for restart-cost experiments
     /// like Fig. 14a, independent of any migration).
     pub fn force_restart(&mut self, c: ComponentId) {
+        self.mutation_epoch += 1;
         self.restarts.insert(c, (self.mesh.now(), self.cfg.restart));
     }
 
@@ -1746,5 +1920,134 @@ mod tests {
         assert_eq!(journal.count("probe_completed"), 3);
         assert_eq!(journal.count("placement_decided"), 10);
         assert_eq!(journal.total_recorded(), journal.len() as u64);
+    }
+
+    /// A camera env with a squeeze/release scenario (migration fires),
+    /// run under `mode` with per-tick hook counting; returns the journal
+    /// bytes, final flow rates, migration count, hook invocations, and
+    /// the number of ticks that executed in full.
+    fn squeeze_run(mode: StepMode) -> (String, Vec<u64>, usize, u64, u64) {
+        let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(3), mbps(100.0)).unwrap();
+        let cluster = Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384))).unwrap();
+        let cfg = SimEnvConfig {
+            policy: SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            step_mode: mode,
+            ..Default::default()
+        };
+        let mut env = SimEnv::new(mesh, cluster, catalog::camera_pipeline(), cfg);
+        env.attach_journal(bass_obs::Journal::new());
+        env.enable_span_profiling();
+        env.deploy(&[]).unwrap();
+        let dag = env.dag().clone();
+        let id = |n: &str| dag.component_by_name(n).unwrap().id;
+        let placement = env.placement();
+        let sampler_node = placement[&id("frame-sampler")];
+        let detector_node = placement[&id("object-detector")];
+        env.set_scenario(Scenario::new().restrict_link(
+            sampler_node,
+            detector_node,
+            SimTime::from_secs(60),
+            SimTime::from_secs(120),
+            mbps(1.0),
+        ));
+        let mut hooks = 0u64;
+        env.run_for(SimDuration::from_secs(180), |_| hooks += 1).unwrap();
+        let rates: Vec<u64> = (0..env.mesh().flow_count())
+            .map(|i| env.mesh().flow_rate(FlowId(i as u64)).as_bps().to_bits())
+            .collect();
+        let migrations = env.stats().migrations.len();
+        let executed = env
+            .take_span_profiler()
+            .unwrap()
+            .stats("tick.finalize")
+            .map_or(0, |s| s.count);
+        let journal = env.take_journal().unwrap().export_jsonl();
+        (journal, rates, migrations, hooks, executed)
+    }
+
+    #[test]
+    fn event_driven_run_is_byte_identical_and_actually_skips() {
+        let (journal_t, rates_t, mig_t, hooks_t, executed_t) = squeeze_run(StepMode::Ticked);
+        let (journal_e, rates_e, mig_e, hooks_e, executed_e) =
+            squeeze_run(StepMode::EventDriven);
+        assert_eq!(journal_t, journal_e);
+        assert_eq!(rates_t, rates_e);
+        assert_eq!(mig_t, mig_e);
+        assert!(mig_t > 0, "squeeze should trigger a migration");
+        // The hook fires once per simulated tick in both modes.
+        assert_eq!(hooks_t, 1800);
+        assert_eq!(hooks_e, 1800);
+        // Ticked executes every tick; event-driven skips the quiescent
+        // stretches between scenario actions and 30 s probe epochs.
+        assert_eq!(executed_t, 1800);
+        assert!(
+            executed_e < executed_t / 2,
+            "event-driven executed {executed_e} of {executed_t} ticks"
+        );
+    }
+
+    #[test]
+    fn hook_mutations_demote_skip_windows_not_correctness() {
+        let run = |mode: StepMode| {
+            let mut env = camera_env(SchedulerPolicy::LongestPath);
+            env.cfg.step_mode = mode;
+            env.attach_journal(bass_obs::Journal::new());
+            env.deploy(&[]).unwrap();
+            let mut ticks = 0u64;
+            env.run_for(SimDuration::from_secs(60), |e| {
+                ticks += 1;
+                // Mutate mid-window, at a tick no event predicts.
+                if ticks == 137 {
+                    e.set_global_demand_factor(0.25);
+                }
+                if ticks == 411 {
+                    e.set_global_demand_factor(1.0);
+                }
+            })
+            .unwrap();
+            (env.take_journal().unwrap().export_jsonl(), env.now())
+        };
+        let ticked = run(StepMode::Ticked);
+        let event = run(StepMode::EventDriven);
+        assert_eq!(ticked, event);
+    }
+
+    #[test]
+    fn skippable_ticks_guards_refuse_unprovable_states() {
+        let mut env = camera_env(SchedulerPolicy::LongestPath);
+        // Not deployed yet.
+        assert_eq!(env.skippable_ticks(100), 0);
+        env.deploy(&[]).unwrap();
+        // No allocation computed before the first step.
+        assert_eq!(env.skippable_ticks(100), 0);
+        env.step().unwrap();
+        let window = env.skippable_ticks(10_000);
+        // Quiescent until the first 30 s probe epoch: the probe tick
+        // (post-advance clock) must execute, everything before may skip.
+        assert_eq!(window, 299);
+        assert_eq!(env.skippable_ticks(50), 50);
+        // Online profiling observes every tick — skipping would starve it.
+        env.enable_online_profiling(OnlineProfiler::new(0.95, 1.1, 10));
+        assert_eq!(env.skippable_ticks(100), 0);
+    }
+
+    #[test]
+    fn skipped_windows_cross_probe_epochs_identically() {
+        // No scenario, no faults: the only events are probe epochs. A
+        // long event-driven run must land probes on the same ticks.
+        let run = |mode: StepMode| {
+            let mut env = camera_env(SchedulerPolicy::LongestPath);
+            env.cfg.step_mode = mode;
+            env.attach_journal(bass_obs::Journal::new());
+            env.deploy(&[]).unwrap();
+            env.run_for(SimDuration::from_secs(300), |_| {}).unwrap();
+            let j = env.take_journal().unwrap();
+            (j.count("probe_completed"), j.export_jsonl())
+        };
+        let (probes_t, journal_t) = run(StepMode::Ticked);
+        let (probes_e, journal_e) = run(StepMode::EventDriven);
+        assert_eq!(probes_t, probes_e);
+        assert_eq!(journal_t, journal_e);
+        assert!(probes_t >= 10, "expected ≥10 probe epochs, saw {probes_t}");
     }
 }

@@ -100,6 +100,13 @@ impl Scenario {
         self.actions.len() - self.cursor
     }
 
+    /// Due time of the next unapplied action, or `None` when the script
+    /// is exhausted. Never advances the cursor — the peek an
+    /// event-driven scheduler uses to bound a time skip.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.actions.get(self.cursor).map(|&(t, _)| t)
+    }
+
     /// Applies every action due at or before `now`.
     ///
     /// # Errors
@@ -142,6 +149,7 @@ mod tests {
         s.apply_due(&mut mesh, SimTime::from_secs(5)).unwrap();
         assert_eq!(mesh.link_capacity(NodeId(0), NodeId(1)).unwrap(), mbps(100.0));
         assert_eq!(s.remaining(), 2);
+        assert_eq!(s.next_at(), Some(SimTime::from_secs(10)));
         mesh.advance(SimDuration::from_secs(10)); // now = 10
         let now = mesh.now();
         s.apply_due(&mut mesh, now).unwrap();
@@ -152,6 +160,7 @@ mod tests {
         s.apply_due(&mut mesh, now).unwrap();
         assert_eq!(mesh.link_capacity(NodeId(0), NodeId(1)).unwrap(), mbps(100.0));
         assert_eq!(s.remaining(), 0);
+        assert_eq!(s.next_at(), None);
     }
 
     #[test]

@@ -363,6 +363,14 @@ impl FaultPlan {
         self.events.len() - self.cursor
     }
 
+    /// Due time of the next unapplied fault, or `None` when the plan is
+    /// exhausted. Never advances the cursor — this is the peek an
+    /// event-driven scheduler uses to bound how far time may skip before
+    /// the plan must be consulted again.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.events.get(self.cursor).map(|&(t, _)| t)
+    }
+
     /// The full schedule, applied or not, in order.
     pub fn events(&self) -> &[(SimTime, Fault)] {
         &self.events
@@ -394,6 +402,14 @@ mod tests {
 
     #[test]
     fn due_is_cursor_before_apply_and_exhaustive() {
+        let mut plan = FaultPlan::new()
+            .node_crash(NodeId(0), SimTime::from_secs(1), SimTime::from_secs(3));
+        assert!(plan.due(SimTime::ZERO).is_empty());
+        assert_eq!(plan.next_at(), Some(SimTime::from_secs(1)));
+        let _ = plan.due(SimTime::from_secs(2));
+        assert_eq!(plan.next_at(), Some(SimTime::from_secs(3)));
+        let _ = plan.due(SimTime::from_secs(100));
+        assert_eq!(plan.next_at(), None);
         let mut plan = FaultPlan::new()
             .node_crash(NodeId(0), SimTime::from_secs(1), SimTime::from_secs(3));
         assert!(plan.due(SimTime::ZERO).is_empty());

@@ -244,6 +244,10 @@ pub struct Mesh {
     /// Links whose trace feed is frozen at a past instant (fault
     /// injection): capacity reads use the frozen time, not `now`.
     trace_freeze: BTreeMap<LinkId, SimTime>,
+    /// Memoized `(from, next)` result of the last
+    /// [`next_trace_change_after`](Self::next_trace_change_after) scan;
+    /// cleared whenever a trace source is swapped or (un)frozen.
+    trace_change_cache: std::cell::Cell<Option<(SimTime, Option<SimTime>)>>,
     /// Per-link weights of the last `use_weighted_routing` call, kept so
     /// fault-driven route recomputations stay quality-aware.
     last_weights: Option<Vec<f64>>,
@@ -280,11 +284,13 @@ pub struct Mesh {
     dirty_comps: Vec<u32>,
     /// Per-component dirty flags (delta engine scratch).
     comp_dirty: Vec<bool>,
-    /// Per-worker allocator scratch for sharded fills.
-    shard_scratch: Vec<AllocScratch>,
-    /// Per-worker full-length rate buffers for sharded fills; only the
-    /// slots of the components a worker filled are read back.
-    shard_rates: Vec<Vec<f64>>,
+    /// Persistent worker threads (plus their owned scratch and rate
+    /// buffers) for sharded fills. Spawned lazily on the first sharded
+    /// tick and reused for every one after — the per-tick
+    /// `thread::scope` spawn/join cost is what made sharding *lose* to
+    /// the serial fill at 1000 nodes before the pool. Cloning a mesh
+    /// yields an empty pool that respawns on first use.
+    shard_pool: ShardPool,
 }
 
 impl Mesh {
@@ -321,6 +327,7 @@ impl Mesh {
             down_nodes: BTreeSet::new(),
             down_links: BTreeSet::new(),
             trace_freeze: BTreeMap::new(),
+            trace_change_cache: std::cell::Cell::new(None),
             last_weights: None,
             engine: AllocEngine::default(),
             index: AllocIndex { dirty: true, ..AllocIndex::default() },
@@ -335,8 +342,7 @@ impl Mesh {
             prev_demands_bps: Vec::new(),
             dirty_comps: Vec::new(),
             comp_dirty: Vec::new(),
-            shard_scratch: Vec::new(),
-            shard_rates: Vec::new(),
+            shard_pool: ShardPool::default(),
         })
     }
 
@@ -518,6 +524,7 @@ impl Mesh {
     pub fn freeze_link_trace(&mut self, a: NodeId, b: NodeId) -> Result<(), MeshError> {
         let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
         self.trace_freeze.entry(lid).or_insert(self.now);
+        self.trace_change_cache.set(None);
         self.reallocate();
         Ok(())
     }
@@ -530,6 +537,7 @@ impl Mesh {
     pub fn unfreeze_link_trace(&mut self, a: NodeId, b: NodeId) -> Result<(), MeshError> {
         let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
         self.trace_freeze.remove(&lid);
+        self.trace_change_cache.set(None);
         self.reallocate();
         Ok(())
     }
@@ -635,6 +643,7 @@ impl Mesh {
     ) -> Result<(), MeshError> {
         let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
         self.link_caps[lid.0].set_source(source);
+        self.trace_change_cache.set(None);
         Ok(())
     }
 
@@ -852,6 +861,69 @@ impl Mesh {
         }
     }
 
+    /// Whether one `dt`-long [`advance`](Self::advance) would leave
+    /// every flow queue bitwise unchanged, assuming no step input moves
+    /// (the event-driven scanner separately proves that). When true —
+    /// and it stays true, since nothing else changed — a whole window of
+    /// ticks reduces to moving the clock, which is exactly what
+    /// [`advance_quiescent`](Self::advance_quiescent) does.
+    pub fn queues_quiescent(&self, dt: SimDuration) -> bool {
+        if self.allocation.len() != self.flows.len() {
+            // No allocation computed yet (pre-first-tick) — a full step
+            // would change state, so nothing is skippable.
+            return false;
+        }
+        self.flows
+            .values()
+            .zip(self.allocation.iter())
+            .all(|(f, (_, allocated))| {
+                f.queue.advance_is_identity(dt, f.spec.demand, allocated)
+            })
+    }
+
+    /// Earliest strictly-later change-point across every live (unfrozen)
+    /// traced link, or `None` when all capacities are constant from `t`
+    /// on. Frozen links read their capacity at the freeze time, so their
+    /// traces cannot change anything until unfrozen.
+    /// The scan is memoized: change-points are a static property of the
+    /// installed traces, so a result `(from, next)` answers every query
+    /// in `[from, next)` without rescanning — the earliest change after
+    /// `from` being `next` means the interval contains no change-point,
+    /// hence the earliest change after any `t` inside it is still
+    /// `next`. The cache is dropped whenever the set itself can move:
+    /// [`set_link_source`](Self::set_link_source),
+    /// [`freeze_link_trace`](Self::freeze_link_trace),
+    /// [`unfreeze_link_trace`](Self::unfreeze_link_trace).
+    pub fn next_trace_change_after(&self, t: SimTime) -> Option<SimTime> {
+        if let Some((from, next)) = self.trace_change_cache.get() {
+            if t >= from && next.is_none_or(|n| t < n) {
+                return next;
+            }
+        }
+        let mut next: Option<SimTime> = None;
+        for (i, lc) in self.link_caps.iter().enumerate() {
+            if self.trace_freeze.contains_key(&LinkId(i)) {
+                continue;
+            }
+            if let CapacitySource::Trace(trace) = lc.source() {
+                if let Some(st) = trace.next_change_after(t) {
+                    next = Some(next.map_or(st, |n| n.min(st)));
+                }
+            }
+        }
+        self.trace_change_cache.set(Some((t, next)));
+        next
+    }
+
+    /// Advances the clock by `dt` without touching capacities,
+    /// allocations, or queues. Only sound for a tick the caller has
+    /// proven quiescent — every step input bitwise unchanged and
+    /// [`queues_quiescent`](Self::queues_quiescent) — in which case a
+    /// full [`advance`](Self::advance) would recompute the identity.
+    pub fn advance_quiescent(&mut self, dt: SimDuration) {
+        self.now += dt;
+    }
+
     /// Recomputes the allocation at the current time without advancing
     /// queues (useful right after changing demands or capacities),
     /// dispatching to the configured [`AllocEngine`].
@@ -1066,9 +1138,9 @@ impl Mesh {
         clock.lap(profiler, "mesh.usage_views");
     }
 
-    /// Fans this tick's dirty components out across `alloc_jobs` worker
-    /// threads (worker *w* takes components `w, w + jobs, …` of the
-    /// dirty list). Each worker fills into its own full-length rate
+    /// Fans this tick's dirty components out across the persistent
+    /// [`ShardPool`] (worker *w* takes components `w, w + jobs, …` of
+    /// the dirty list). Each worker fills into its own full-length rate
     /// buffer with its own scratch; the caller then scatters exactly
     /// each component's slots back into `rates_bps`. Because every
     /// component fill is deterministic and components write disjoint
@@ -1077,49 +1149,51 @@ impl Mesh {
     /// uses across replicas, applied inside one tick.
     fn shard_fill(&mut self) {
         let jobs = self.alloc_jobs.min(self.dirty_comps.len());
-        if self.shard_scratch.len() < jobs {
-            self.shard_scratch.resize_with(jobs, AllocScratch::default);
+        // The pool moves out of `self` for the duration of the fill so
+        // its workers can be driven while the job inputs stay borrowed
+        // from `self`.
+        let mut pool = std::mem::take(&mut self.shard_pool);
+        pool.ensure(jobs);
+        let inputs = ShardInputs {
+            dirty: (self.dirty_comps.as_ptr(), self.dirty_comps.len()),
+            demands: (self.demands_scratch.as_ptr(), self.demands_scratch.len()),
+            constraints: (self.index.constraints.as_ptr(), self.index.constraints.len()),
+            flow_cons_off: (self.index.flow_cons_off.as_ptr(), self.index.flow_cons_off.len()),
+            flow_cons: (self.index.flow_cons.as_ptr(), self.index.flow_cons.len()),
+            comps: &self.index.comps,
+            jobs,
+            n: self.rates_bps.len(),
+        };
+        for (w, worker) in pool.workers[..jobs].iter_mut().enumerate() {
+            let job = ShardJob {
+                inputs,
+                w,
+                scratch: std::mem::take(&mut worker.scratch),
+                rates: std::mem::take(&mut worker.rates),
+            };
+            worker
+                .job_tx
+                .as_ref()
+                .expect("live pool workers keep their sender")
+                .send(job)
+                .expect("shard worker alive");
         }
-        if self.shard_rates.len() < jobs {
-            self.shard_rates.resize_with(jobs, Vec::new);
+        // Blocking on every completion receipt before touching any
+        // borrowed input again is what makes the raw pointers inside
+        // `ShardInputs` sound: no worker outlives this loop with a
+        // pointer in hand.
+        for worker in &mut pool.workers[..jobs] {
+            let (scratch, rates) = worker.done_rx.recv().expect("shard worker alive");
+            worker.scratch = scratch;
+            worker.rates = rates;
         }
-        let n = self.rates_bps.len();
-        let dirty = &self.dirty_comps;
-        let index = &self.index;
-        let demands = &self.demands_scratch;
-        let shard_scratch = &mut self.shard_scratch[..jobs];
-        let shard_rates = &mut self.shard_rates[..jobs];
-        std::thread::scope(|s| {
-            for (w, (scratch, rates)) in
-                shard_scratch.iter_mut().zip(shard_rates.iter_mut()).enumerate()
-            {
-                s.spawn(move || {
-                    // Stale values outside this worker's components are
-                    // never read: each fill resets its slots first.
-                    rates.resize(n, 0.0);
-                    let mut k = w;
-                    while k < dirty.len() {
-                        refill_component_into(
-                            dirty[k],
-                            demands,
-                            &index.constraints,
-                            &index.flow_cons_off,
-                            &index.flow_cons,
-                            &index.comps,
-                            scratch,
-                            rates,
-                        );
-                        k += jobs;
-                    }
-                });
-            }
-        });
         for (k, &comp) in self.dirty_comps.iter().enumerate() {
-            let src = &self.shard_rates[k % jobs];
+            let src = &pool.workers[k % jobs].rates;
             for &i in self.index.comps.flows_of(comp) {
                 self.rates_bps[i] = src[i];
             }
         }
+        self.shard_pool = pool;
     }
 
     /// The pre-incremental reference path, kept verbatim (fresh buffers,
@@ -1490,6 +1564,165 @@ impl Mesh {
             .into_iter()
             .map(|l| self.effective_link_capacity(l))
             .sum())
+    }
+}
+
+/// A persistent pool of shard-fill worker threads.
+///
+/// The first sharded implementation spawned fresh scoped threads every
+/// tick; at 1000 nodes the per-tick spawn/join cost exceeded the fill
+/// itself and made `--alloc-jobs 4` *slower* than the serial refill
+/// (412 vs 477 ticks/s in `BENCH_mesh.json`). The pool spawns each
+/// worker once, on first use, and reuses it — plus its owned
+/// [`AllocScratch`] and rate buffer, which round-trip through the job
+/// channels — for every subsequent tick. Workers block on their job
+/// channel between ticks and exit when the pool drops their sender.
+#[derive(Default)]
+struct ShardPool {
+    workers: Vec<ShardWorker>,
+}
+
+/// One pooled worker thread and its parked per-worker buffers.
+struct ShardWorker {
+    /// `None` only while the pool is dropping (dropping the sender is
+    /// what unblocks the worker's receive loop so it can exit).
+    job_tx: Option<std::sync::mpsc::Sender<ShardJob>>,
+    /// Completion receipts carrying the worker's buffers back.
+    done_rx: std::sync::mpsc::Receiver<(AllocScratch, Vec<f64>)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    /// Allocator scratch parked between ticks.
+    scratch: AllocScratch,
+    /// Full-length rate buffer parked between ticks; only the slots of
+    /// the components this worker filled are ever read back.
+    rates: Vec<f64>,
+}
+
+/// Borrowed inputs of one sharded fill, shipped to every worker as raw
+/// `(pointer, len)` pairs because `Mesh` cannot lend lifetimes across a
+/// channel. Soundness is enforced by [`Mesh::shard_fill`]: it blocks on
+/// every worker's completion receipt before returning, and nothing
+/// mutates (or frees) the pointees while a job is in flight, so each
+/// pointer outlives every dereference and is only ever read.
+#[derive(Clone, Copy)]
+struct ShardInputs {
+    dirty: (*const u32, usize),
+    demands: (*const Bandwidth, usize),
+    constraints: (*const Constraint, usize),
+    flow_cons_off: (*const usize, usize),
+    flow_cons: (*const usize, usize),
+    comps: *const ComponentIndex,
+    /// Worker count of this fill; worker `w` takes dirty components
+    /// `w, w + jobs, …`.
+    jobs: usize,
+    /// Flow count — the length workers resize their rate buffers to.
+    n: usize,
+}
+
+// SAFETY: the raw pointers are only dereferenced (read-only) between
+// job send and completion receipt, during which `shard_fill` keeps the
+// owning `Mesh` borrowed and blocked — see the `ShardInputs` docs.
+unsafe impl Send for ShardInputs {}
+
+/// One tick's work order for one pooled worker.
+struct ShardJob {
+    inputs: ShardInputs,
+    /// This worker's index within the fill.
+    w: usize,
+    scratch: AllocScratch,
+    rates: Vec<f64>,
+}
+
+/// The pooled worker loop: fill the assigned components of each job
+/// into the owned rate buffer, send the buffers back, block for the
+/// next job. Ends when the job sender drops (pool drop) or the receipt
+/// receiver is gone.
+fn shard_worker_loop(
+    jobs_rx: std::sync::mpsc::Receiver<ShardJob>,
+    done_tx: std::sync::mpsc::Sender<(AllocScratch, Vec<f64>)>,
+) {
+    while let Ok(ShardJob { inputs, w, mut scratch, mut rates }) = jobs_rx.recv() {
+        // SAFETY: see `ShardInputs` — the pointees are alive and
+        // unmutated until the receipt below is received.
+        let (dirty, demands, constraints, flow_cons_off, flow_cons, comps) = unsafe {
+            (
+                std::slice::from_raw_parts(inputs.dirty.0, inputs.dirty.1),
+                std::slice::from_raw_parts(inputs.demands.0, inputs.demands.1),
+                std::slice::from_raw_parts(inputs.constraints.0, inputs.constraints.1),
+                std::slice::from_raw_parts(inputs.flow_cons_off.0, inputs.flow_cons_off.1),
+                std::slice::from_raw_parts(inputs.flow_cons.0, inputs.flow_cons.1),
+                &*inputs.comps,
+            )
+        };
+        // Stale values outside this worker's components are never read:
+        // each fill resets its slots first.
+        rates.resize(inputs.n, 0.0);
+        let mut k = w;
+        while k < dirty.len() {
+            refill_component_into(
+                dirty[k],
+                demands,
+                constraints,
+                flow_cons_off,
+                flow_cons,
+                comps,
+                &mut scratch,
+                &mut rates,
+            );
+            k += inputs.jobs;
+        }
+        if done_tx.send((scratch, rates)).is_err() {
+            return;
+        }
+    }
+}
+
+impl ShardPool {
+    /// Grows the pool to at least `jobs` live workers.
+    fn ensure(&mut self, jobs: usize) {
+        while self.workers.len() < jobs {
+            let (job_tx, job_rx) = std::sync::mpsc::channel();
+            let (done_tx, done_rx) = std::sync::mpsc::channel();
+            let handle = std::thread::Builder::new()
+                .name("bass-shard".into())
+                .spawn(move || shard_worker_loop(job_rx, done_tx))
+                .expect("spawning a shard worker succeeds");
+            self.workers.push(ShardWorker {
+                job_tx: Some(job_tx),
+                done_rx,
+                handle: Some(handle),
+                scratch: AllocScratch::default(),
+                rates: Vec::new(),
+            });
+        }
+    }
+}
+
+impl Clone for ShardPool {
+    /// Threads are never cloned: a cloned mesh starts with an empty
+    /// pool and respawns workers on its first sharded fill.
+    fn clone(&self) -> Self {
+        ShardPool::default()
+    }
+}
+
+impl fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardPool").field("workers", &self.workers.len()).finish()
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Drop every sender first so all workers unblock…
+        for w in &mut self.workers {
+            w.job_tx = None;
+        }
+        // …then reap them.
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -1978,5 +2211,118 @@ mod tests {
         assert_eq!(mesh.alloc_jobs(), 1);
         mesh.set_alloc_jobs(8);
         assert_eq!(mesh.alloc_jobs(), 8);
+    }
+
+    #[test]
+    fn cloned_mesh_respawns_its_own_shard_pool() {
+        // Clone a sharded mesh mid-run: the clone starts with an empty
+        // pool, respawns workers on its next fill, and both continue to
+        // the identical allocation.
+        let mut mesh =
+            Mesh::with_uniform_capacity(Topology::grid(4, 4), mbps(60.0)).unwrap();
+        mesh.set_alloc_engine(AllocEngine::Delta);
+        mesh.set_alloc_jobs(4);
+        for i in 0..12u64 {
+            let src = NodeId((i % 16) as u32);
+            let dst = NodeId(((i * 5 + 3) % 16) as u32);
+            mesh.add_flow(src, dst, mbps(8.0 + i as f64)).unwrap();
+        }
+        mesh.advance(SimDuration::from_millis(100));
+        let mut twin = mesh.clone();
+        for tick in 0..6u64 {
+            for m in [&mut mesh, &mut twin] {
+                m.set_link_cap(NodeId(0), NodeId(1), Some(mbps(20.0 + tick as f64)))
+                    .unwrap();
+                m.advance(SimDuration::from_millis(100));
+            }
+        }
+        for i in 0..12u64 {
+            assert_eq!(
+                mesh.flow_rate(FlowId(i)).as_bps().to_bits(),
+                twin.flow_rate(FlowId(i)).as_bps().to_bits(),
+                "flow {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn queues_quiescent_tracks_backlog_fixed_points() {
+        let step = SimDuration::from_millis(100);
+        let mut mesh = three_node_lan();
+        let f = mesh.add_flow(NodeId(0), NodeId(1), mbps(30.0)).unwrap();
+        // Before the first allocation nothing is provable.
+        assert!(!mesh.queues_quiescent(step));
+        mesh.advance(step);
+        // Satisfied demand, empty queue: a tick is the identity.
+        assert!(mesh.queues_quiescent(step));
+        // Over-subscribe: the backlog grows every tick.
+        mesh.set_link_cap(NodeId(0), NodeId(1), Some(mbps(10.0))).unwrap();
+        mesh.advance(step);
+        assert!(!mesh.queues_quiescent(step));
+        // Drop the offered load to zero and drain. The drain targets a
+        // one-second horizon, so the backlog decays geometrically and
+        // only reaches the 0.0 fixed point once it underflows — finite,
+        // but many ticks out.
+        mesh.set_flow_demand(f, Bandwidth::ZERO).unwrap();
+        let mut drained = 0u32;
+        while !mesh.queues_quiescent(step) {
+            mesh.advance(step);
+            drained += 1;
+            assert!(drained < 50_000, "backlog never reached a fixed point");
+        }
+    }
+
+    #[test]
+    fn next_trace_change_skips_frozen_links() {
+        let mut topo = Topology::new();
+        topo.add_node(NodeId(0)).unwrap();
+        topo.add_node(NodeId(1)).unwrap();
+        topo.add_link(NodeId(0), NodeId(1)).unwrap();
+        let trace: BandwidthTrace = StepScript::new("l", mbps(50.0))
+            .restrict(SimTime::from_secs(10), SimDuration::from_secs(10), mbps(5.0))
+            .compile(SimDuration::from_secs(60));
+        let mut mesh = Mesh::new(topo).unwrap();
+        mesh.set_link_source(NodeId(0), NodeId(1), CapacitySource::Trace(trace))
+            .unwrap();
+        let first = mesh.next_trace_change_after(SimTime::ZERO).unwrap();
+        assert!(first > SimTime::ZERO && first <= SimTime::from_secs(10));
+        // A frozen link's trace can no longer change any capacity read.
+        mesh.freeze_link_trace(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(mesh.next_trace_change_after(SimTime::ZERO), None);
+        mesh.unfreeze_link_trace(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(mesh.next_trace_change_after(SimTime::ZERO), Some(first));
+        // Constant-capacity meshes never schedule a trace change.
+        assert_eq!(three_node_lan().next_trace_change_after(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn advance_quiescent_matches_a_full_tick_bit_for_bit() {
+        let step = SimDuration::from_millis(100);
+        let mut ticked = three_node_lan();
+        ticked.set_alloc_engine(AllocEngine::Delta);
+        let f = ticked.add_flow(NodeId(0), NodeId(1), mbps(30.0)).unwrap();
+        ticked.advance(step);
+        let mut skipped = ticked.clone();
+        assert!(ticked.queues_quiescent(step));
+        for _ in 0..10 {
+            ticked.advance(step);
+            skipped.advance_quiescent(step);
+        }
+        assert_eq!(ticked.now(), skipped.now());
+        assert_eq!(
+            ticked.flow_rate(f).as_bps().to_bits(),
+            skipped.flow_rate(f).as_bps().to_bits()
+        );
+        assert_eq!(
+            ticked.flow_goodput(f).as_bps().to_bits(),
+            skipped.flow_goodput(f).as_bps().to_bits()
+        );
+        // And a subsequent full tick continues identically from both.
+        ticked.advance(step);
+        skipped.advance(step);
+        assert_eq!(
+            ticked.flow_rate(f).as_bps().to_bits(),
+            skipped.flow_rate(f).as_bps().to_bits()
+        );
     }
 }

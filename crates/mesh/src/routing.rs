@@ -71,8 +71,7 @@ impl RoutingTable {
             queue.push_back(src);
             parent.insert(src, src);
             while let Some(n) = queue.pop_front() {
-                for nb in topo.neighbors(n) {
-                    let lid = topo.find_link(n, nb).expect("neighbor edge exists");
+                for &(nb, lid) in topo.neighbor_links(n) {
                     if !pass[lid.0] {
                         continue;
                     }
@@ -158,8 +157,7 @@ impl RoutingTable {
                     .map(|(&n, &d)| (n, d));
                 let Some((u, du)) = next else { break };
                 done.insert(u);
-                for nb in topo.neighbors(u) {
-                    let lid = topo.find_link(u, nb).expect("neighbor edge exists");
+                for &(nb, lid) in topo.neighbor_links(u) {
                     // Filtered-out links have no weight entry: skip them.
                     let Some(w) = weights[lid.0] else { continue };
                     let cand = du + w;

@@ -1,7 +1,7 @@
 //! Mesh topology: nodes and undirected wireless links.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
@@ -105,10 +105,52 @@ impl Error for TopologyError {}
 /// assert!(topo.is_connected());
 /// # Ok::<(), bass_mesh::topology::TopologyError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Topology {
     nodes: BTreeSet<NodeId>,
     links: Vec<Link>,
+    /// `(lo, hi)` endpoint pair → link id, for O(log E) lookups.
+    link_ids: BTreeMap<(NodeId, NodeId), LinkId>,
+    /// Per-node adjacency, each list ascending by neighbor id. Routing
+    /// walks these on every BFS/Dijkstra relaxation, so they must stay
+    /// in sync with `links` (see [`Topology::index_link`]).
+    adj: BTreeMap<NodeId, Vec<(NodeId, LinkId)>>,
+}
+
+// The wire format carries only `nodes` and `links` (the same shape the
+// struct serialized as before the lookup indices existed); the indices
+// are derived data and are rebuilt on deserialization.
+impl Serialize for Topology {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            (String::from("nodes"), Serialize::serialize(&self.nodes)),
+            (String::from("links"), Serialize::serialize(&self.links)),
+        ])
+    }
+}
+
+impl Deserialize for Topology {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("map", "Topology"))?;
+        let nodes: BTreeSet<NodeId> = match serde::content_get(map, "nodes") {
+            Some(c) => Deserialize::deserialize(c)?,
+            None => return Err(serde::DeError::missing_field("nodes", "Topology")),
+        };
+        let links: Vec<Link> = match serde::content_get(map, "links") {
+            Some(c) => Deserialize::deserialize(c)?,
+            None => return Err(serde::DeError::missing_field("links", "Topology")),
+        };
+        let mut topo = Topology { nodes, ..Topology::default() };
+        for n in topo.nodes.clone() {
+            topo.adj.insert(n, Vec::new());
+        }
+        for link in links {
+            topo.index_link(link.a, link.b);
+        }
+        Ok(topo)
+    }
 }
 
 impl Topology {
@@ -141,7 +183,23 @@ impl Topology {
         if !self.nodes.insert(id) {
             return Err(TopologyError::DuplicateNode(id));
         }
+        self.adj.insert(id, Vec::new());
         Ok(())
+    }
+
+    /// Appends a (normalized) link and threads it through both lookup
+    /// indices. Callers validate endpoints and uniqueness first.
+    fn index_link(&mut self, a: NodeId, b: NodeId) -> LinkId {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let id = LinkId(self.links.len());
+        self.links.push(Link { a: lo, b: hi });
+        self.link_ids.insert((lo, hi), id);
+        for (n, other) in [(lo, hi), (hi, lo)] {
+            let list = self.adj.entry(n).or_default();
+            let at = list.partition_point(|&(nb, _)| nb < other);
+            list.insert(at, (other, id));
+        }
+        id
     }
 
     /// Adds an undirected link between two existing nodes.
@@ -161,9 +219,7 @@ impl Topology {
         if self.find_link(a, b).is_some() {
             return Err(TopologyError::DuplicateLink(a, b));
         }
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        self.links.push(Link { a: lo, b: hi });
-        Ok(LinkId(self.links.len() - 1))
+        Ok(self.index_link(a, b))
     }
 
     /// All node ids in ascending order.
@@ -194,10 +250,7 @@ impl Topology {
     /// The link between `a` and `b` (order-insensitive), if any.
     pub fn find_link(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        self.links
-            .iter()
-            .position(|l| l.a == lo && l.b == hi)
-            .map(LinkId)
+        self.link_ids.get(&(lo, hi)).copied()
     }
 
     /// The link with the given id.
@@ -211,19 +264,23 @@ impl Topology {
 
     /// Neighbors of a node in ascending id order.
     pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self.links.iter().filter_map(|l| l.other(n)).collect();
-        out.sort_unstable();
-        out
+        self.neighbor_links(n).iter().map(|&(nb, _)| nb).collect()
     }
 
-    /// Links incident to a node.
+    /// Neighbors of a node with the connecting link, ascending by
+    /// neighbor id. The allocation-free counterpart of
+    /// [`neighbors`](Self::neighbors) + [`find_link`](Self::find_link)
+    /// that routing's inner loops relax over.
+    pub fn neighbor_links(&self, n: NodeId) -> &[(NodeId, LinkId)] {
+        self.adj.get(&n).map_or(&[], Vec::as_slice)
+    }
+
+    /// Links incident to a node, in ascending link-id order.
     pub fn incident_links(&self, n: NodeId) -> Vec<LinkId> {
-        self.links
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.a == n || l.b == n)
-            .map(|(i, _)| LinkId(i))
-            .collect()
+        let mut out: Vec<LinkId> =
+            self.neighbor_links(n).iter().map(|&(_, lid)| lid).collect();
+        out.sort_unstable();
+        out
     }
 
     /// Builds a `width × height` grid: node `y * width + x` links to its

@@ -391,6 +391,19 @@ impl NetMonitor {
     pub fn last_full_probe(&self) -> Option<SimTime> {
         self.last_full_probe
     }
+
+    /// The earliest time at which
+    /// [`headroom_probe_due`](Self::headroom_probe_due) becomes (or
+    /// already is) `true`:
+    /// one probe interval after the last headroom probe, or time zero
+    /// when no probe ever ran. An event-driven scheduler treats this as
+    /// the next probe-epoch event and never skips across it.
+    pub fn next_headroom_probe_at(&self) -> SimTime {
+        match self.last_headroom_probe {
+            None => SimTime::ZERO,
+            Some(last) => last + self.cfg.probe_interval,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 use crate::generate::{generate, AppKind, GeneratedScenario, WorkloadEvent};
 use crate::spec::{ScenarioSpec, SpecError};
 use bass_appdag::{AppDag, ComponentId};
+use bass_core::StepMode;
 use bass_emu::{EnvError, SimEnv, SimEnvConfig};
 use bass_mesh::{AllocEngine, MeshError};
 use bass_obs::{Progress, ProgressLevel, SpanProfiler};
@@ -256,6 +257,15 @@ pub struct CampaignOptions {
     pub jobs: usize,
     /// Allocation engine for every replica mesh.
     pub engine: AllocEngine,
+    /// Worker threads for the delta engine's sharded component fill
+    /// inside each replica mesh (≥1; other engines ignore it).
+    pub alloc_jobs: usize,
+    /// How each replica advances time: [`StepMode::Ticked`] executes
+    /// every tick; [`StepMode::EventDriven`] skips provably quiescent
+    /// windows, replaying one cached sample tuple per window at the
+    /// sampled tick indices (identical floats, accumulated in identical
+    /// order — so the summary bytes never move).
+    pub step_mode: StepMode,
     /// Enable span profiling in every replica; per-span statistics are
     /// merged in replica order into [`CampaignRun::profiler`].
     pub profile: bool,
@@ -268,6 +278,8 @@ impl Default for CampaignOptions {
         CampaignOptions {
             jobs: 1,
             engine: AllocEngine::Incremental,
+            alloc_jobs: 1,
+            step_mode: StepMode::Ticked,
             profile: false,
             progress: ProgressLevel::Off,
         }
@@ -340,8 +352,7 @@ pub fn run_campaign_opts(
                 if i >= replica_count {
                     break;
                 }
-                let outcome =
-                    run_replica(spec, i as u32, replica_seeds[i], engine, opts.profile);
+                let outcome = run_replica(spec, i as u32, replica_seeds[i], opts);
                 let ticks = outcome.as_ref().map(|o| o.summary.ticks).unwrap_or(0);
                 results.lock().expect("results lock")[i] = Some(outcome);
                 progress.unit_done(i as u64, ticks);
@@ -432,16 +443,85 @@ fn shares(achieved: &BTreeMap<&'static str, f64>) -> BTreeMap<String, f64> {
         .collect()
 }
 
+/// The streaming per-sample fold state of one replica. Accumulation
+/// order is fixed — one [`record`](SampleFold::record) call per sampled
+/// tick, in tick order — so ticked and event-driven runs that feed the
+/// same values produce bitwise-identical sums.
+struct SampleFold {
+    hist: Histogram,
+    goodput_sum: f64,
+    samples: u64,
+    achieved_sum_mbps: BTreeMap<&'static str, f64>,
+    offered_total: f64,
+    achieved_total: f64,
+}
+
+impl SampleFold {
+    fn new() -> Self {
+        SampleFold {
+            hist: goodput_histogram(),
+            goodput_sum: 0.0,
+            samples: 0,
+            achieved_sum_mbps: BTreeMap::new(),
+            offered_total: 0.0,
+            achieved_total: 0.0,
+        }
+    }
+
+    fn record(&mut self, required: f64, achieved: f64, per_kind: &BTreeMap<&'static str, f64>) {
+        let fraction = if required > 0.0 { achieved / required } else { 1.0 };
+        self.hist.record(fraction);
+        self.goodput_sum += fraction;
+        self.samples += 1;
+        self.offered_total += required;
+        self.achieved_total += achieved;
+        for (&k, &v) in per_kind {
+            *self.achieved_sum_mbps.entry(k).or_insert(0.0) += v;
+        }
+    }
+}
+
+/// One sample's raw reads: aggregate required and achieved bandwidth
+/// over all live edges, plus each app kind's achieved share. Every
+/// input is constant across a quiescent window (flow goodputs are at a
+/// fixed point, restart expiries bound the window on both clocks), so
+/// the event-driven path computes this once per window and replays it.
+fn sample_live_edges(
+    env: &SimEnv,
+    live: &BTreeMap<u32, (String, Vec<ComponentId>, AppKind)>,
+) -> (f64, f64, BTreeMap<&'static str, f64>) {
+    let mut required = 0.0;
+    let mut achieved = 0.0;
+    let mut per_kind: BTreeMap<&'static str, f64> = BTreeMap::new();
+    for (_, ids, kind) in live.values() {
+        let label = kind.label();
+        for &c in ids {
+            for e in env.dag().out_edges(c) {
+                let a = env.edge_achieved(e.from, e.to).as_mbps();
+                required += e.bandwidth.as_mbps();
+                achieved += a;
+                *per_kind.entry(label).or_insert(0.0) += a;
+            }
+        }
+    }
+    (required, achieved, per_kind)
+}
+
 /// Executes one replica tick by tick, streaming per-sample aggregates
 /// into the fold state. Memory is O(nodes + links + live components):
-/// no per-tick history is kept anywhere.
+/// no per-tick history is kept anywhere. Under
+/// [`StepMode::EventDriven`] each executed tick is followed by the
+/// largest provably quiescent window (bounded additionally by the next
+/// workload arrival/departure and the horizon); skipped ticks replay
+/// the window's cached sample tuple at the same tick indices ticked
+/// mode samples, keeping the summary byte-identical.
 fn run_replica(
     spec: &ScenarioSpec,
     replica: u32,
     replica_seed: u64,
-    engine: AllocEngine,
-    profile: bool,
+    opts: &CampaignOptions,
 ) -> Result<ReplicaOutcome, CampaignError> {
+    let setup_started = std::time::Instant::now();
     let scenario = generate(spec, replica_seed);
     let horizon = SimDuration::from_millis(spec.horizon_ticks * spec.step_ms);
     let mesh = scenario.build_mesh(horizon)?;
@@ -449,23 +529,23 @@ fn run_replica(
     let links = scenario.topology.link_count();
     let cfg = SimEnvConfig {
         step: SimDuration::from_millis(spec.step_ms),
-        alloc_engine: engine,
+        alloc_engine: opts.engine,
+        alloc_jobs: opts.alloc_jobs.max(1),
+        step_mode: opts.step_mode,
         faults: scenario.faults.clone(),
         ..SimEnvConfig::default()
     };
     let mut env = SimEnv::new(mesh, cluster, AppDag::new(scenario.name.clone()), cfg);
-    if profile {
+    if opts.profile {
         env.enable_span_profiling();
+        // Setup (generation + mesh construction) is a one-time cost;
+        // benches subtract it to report pure stepping throughput.
+        env.record_span("campaign.setup", setup_started.elapsed());
     }
     env.deploy(&[])?;
 
     let faults_total = env.fault_plan().remaining();
-    let mut hist = goodput_histogram();
-    let mut goodput_sum = 0.0;
-    let mut samples = 0u64;
-    let mut achieved_sum_mbps: BTreeMap<&'static str, f64> = BTreeMap::new();
-    let mut offered_total = 0.0;
-    let mut achieved_total = 0.0;
+    let mut fold = SampleFold::new();
     let mut admitted = 0u64;
     let mut rejected = 0u64;
     let mut retired = 0u64;
@@ -473,7 +553,8 @@ fn run_replica(
     // Live instances: arrival index → (label, admitted component ids).
     let mut live: BTreeMap<u32, (String, Vec<ComponentId>, AppKind)> = BTreeMap::new();
     let mut cursor = 0usize;
-    for tick in 0..spec.horizon_ticks {
+    let mut tick = 0u64;
+    while tick < spec.horizon_ticks {
         let now_ms = tick * spec.step_ms;
         while cursor < scenario.workload.len() && scenario.workload[cursor].at_ms() <= now_ms {
             match scenario.workload[cursor] {
@@ -500,34 +581,54 @@ fn run_replica(
             cursor += 1;
         }
         env.step()?;
-        if tick % spec.sample_every_ticks == 0 {
-            let mut required = 0.0;
-            let mut achieved = 0.0;
-            let mut per_kind: BTreeMap<&'static str, f64> = BTreeMap::new();
-            for (_, ids, kind) in live.values() {
-                let label = kind.label();
-                for &c in ids {
-                    for e in env.dag().out_edges(c) {
-                        let a = env.edge_achieved(e.from, e.to).as_mbps();
-                        required += e.bandwidth.as_mbps();
-                        achieved += a;
-                        *per_kind.entry(label).or_insert(0.0) += a;
-                    }
+        if tick.is_multiple_of(spec.sample_every_ticks) {
+            let (required, achieved, per_kind) = sample_live_edges(&env, &live);
+            fold.record(required, achieved, &per_kind);
+        }
+        tick += 1;
+        if opts.step_mode != StepMode::EventDriven {
+            continue;
+        }
+        while tick < spec.horizon_ticks {
+            let remaining = spec.horizon_ticks - tick;
+            // A skipped tick must not swallow a workload event: the
+            // event at `at_ms` first applies at tick ⌈at_ms/step_ms⌉.
+            let workload_bound = if cursor < scenario.workload.len() {
+                scenario.workload[cursor]
+                    .at_ms()
+                    .div_ceil(spec.step_ms)
+                    .saturating_sub(tick)
+            } else {
+                remaining
+            };
+            let scan_started = std::time::Instant::now();
+            let window = env.skippable_ticks(remaining.min(workload_bound));
+            env.record_span("campaign.skip_scan", scan_started.elapsed());
+            if window == 0 {
+                break;
+            }
+            // One cached tuple serves every sample tick in the window
+            // (every sample input is constant across it); replaying it
+            // per sampled tick repeats the identical float additions
+            // ticked mode performs. Windows without a sample tick —
+            // the common case at coarse sample cadences — skip the
+            // edge walk entirely.
+            let first_sample = tick.div_ceil(spec.sample_every_ticks) * spec.sample_every_ticks;
+            if first_sample < tick + window {
+                let (required, achieved, per_kind) = sample_live_edges(&env, &live);
+                let mut t = first_sample;
+                while t < tick + window {
+                    fold.record(required, achieved, &per_kind);
+                    t += spec.sample_every_ticks;
                 }
             }
-            let fraction = if required > 0.0 { achieved / required } else { 1.0 };
-            hist.record(fraction);
-            goodput_sum += fraction;
-            samples += 1;
-            offered_total += required;
-            achieved_total += achieved;
-            for (k, v) in per_kind {
-                *achieved_sum_mbps.entry(k).or_insert(0.0) += v;
-            }
+            env.skip_quiescent_ticks(window);
+            tick += window;
         }
     }
 
     let stats = env.stats();
+    let samples = fold.samples;
     let summary = ReplicaSummary {
         replica,
         seed: replica_seed,
@@ -540,16 +641,24 @@ fn run_replica(
         migrations: stats.migrations.len() as u64,
         unplaceable: stats.unplaceable,
         faults_injected: faults_total - env.fault_plan().remaining(),
-        goodput: QuantileSummary::from_parts(&hist, goodput_sum, samples),
-        mean_achieved_mbps: if samples == 0 { 0.0 } else { achieved_total / samples as f64 },
-        mean_offered_mbps: if samples == 0 { 0.0 } else { offered_total / samples as f64 },
-        bandwidth_share: shares(&achieved_sum_mbps),
+        goodput: QuantileSummary::from_parts(&fold.hist, fold.goodput_sum, samples),
+        mean_achieved_mbps: if samples == 0 {
+            0.0
+        } else {
+            fold.achieved_total / samples as f64
+        },
+        mean_offered_mbps: if samples == 0 {
+            0.0
+        } else {
+            fold.offered_total / samples as f64
+        },
+        bandwidth_share: shares(&fold.achieved_sum_mbps),
     };
     Ok(ReplicaOutcome {
         summary,
-        goodput_hist: hist,
-        goodput_sum,
-        achieved_sum_mbps,
+        goodput_hist: fold.hist,
+        goodput_sum: fold.goodput_sum,
+        achieved_sum_mbps: fold.achieved_sum_mbps,
         profiler: env.take_span_profiler(),
     })
 }
@@ -597,7 +706,7 @@ mod tests {
             jobs: 3,
             engine: AllocEngine::Incremental,
             profile: true,
-            progress: ProgressLevel::Off,
+            ..CampaignOptions::default()
         };
         let profiled = run_campaign_opts(&spec, 9, &opts).unwrap();
         assert_eq!(plain.to_json(), profiled.summary.to_json());
@@ -626,6 +735,87 @@ mod tests {
         // up to its closing brace.
         let base = run.summary.to_json();
         assert!(with_profile.starts_with(base.trim_end().strip_suffix('}').unwrap().trim_end()));
+    }
+
+    #[test]
+    fn step_mode_never_changes_summary_bytes_for_any_engine() {
+        let spec = tiny_spec();
+        for engine in [AllocEngine::Dense, AllocEngine::Incremental, AllocEngine::Delta] {
+            let ticked = run_campaign_opts(
+                &spec,
+                7,
+                &CampaignOptions { engine, ..CampaignOptions::default() },
+            )
+            .unwrap();
+            let event = run_campaign_opts(
+                &spec,
+                7,
+                &CampaignOptions {
+                    engine,
+                    step_mode: StepMode::EventDriven,
+                    ..CampaignOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                ticked.summary.to_json(),
+                event.summary.to_json(),
+                "engine {engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_driven_replicas_actually_skip_ticks() {
+        // OU change-points arrive every 5 s on a 1 s step: at least the
+        // 4-tick stretches between them must be skipped. Profiler span
+        // counts track executed work, so `tick.finalize` falls below the
+        // tick total exactly when windows were skipped.
+        let spec = tiny_spec();
+        let run = |step_mode| {
+            run_campaign_opts(
+                &spec,
+                11,
+                &CampaignOptions { step_mode, profile: true, ..CampaignOptions::default() },
+            )
+            .unwrap()
+        };
+        let ticked = run(StepMode::Ticked);
+        let event = run(StepMode::EventDriven);
+        assert_eq!(ticked.summary.to_json(), event.summary.to_json());
+        let total = ticked.summary.aggregate.ticks;
+        let full = |r: &CampaignRun| {
+            r.profiler.as_ref().unwrap().stats("tick.finalize").map_or(0, |s| s.count)
+        };
+        assert_eq!(full(&ticked), total);
+        assert!(
+            full(&event) < total,
+            "event-driven executed {} of {total} ticks",
+            full(&event)
+        );
+    }
+
+    #[test]
+    fn alloc_jobs_never_change_summary_bytes() {
+        let spec = tiny_spec();
+        let base = run_campaign_opts(
+            &spec,
+            13,
+            &CampaignOptions { engine: AllocEngine::Delta, ..CampaignOptions::default() },
+        )
+        .unwrap();
+        let sharded = run_campaign_opts(
+            &spec,
+            13,
+            &CampaignOptions {
+                engine: AllocEngine::Delta,
+                alloc_jobs: 4,
+                step_mode: StepMode::EventDriven,
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(base.summary.to_json(), sharded.summary.to_json());
     }
 
     #[test]

@@ -89,6 +89,32 @@ impl BandwidthTrace {
             .unwrap_or(Bandwidth::ZERO)
     }
 
+    /// The time of the first sample strictly after `t` — the trace's
+    /// next change-point, or `None` when the trace never changes again.
+    ///
+    /// Under step-replay semantics the capacity reported by
+    /// [`capacity_at`](Self::capacity_at) is constant on
+    /// `[t, next_change_after(t))`, which is what lets an event-driven
+    /// simulation skip directly to the next change.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bass_trace::BandwidthTrace;
+    /// use bass_util::prelude::*;
+    ///
+    /// let mut trace = BandwidthTrace::new("uplink");
+    /// trace.push(SimTime::ZERO, Bandwidth::from_mbps(25.0));
+    /// trace.push(SimTime::from_secs(60), Bandwidth::from_mbps(7.0));
+    /// assert_eq!(trace.next_change_after(SimTime::from_secs(30)),
+    ///            Some(SimTime::from_secs(60)));
+    /// assert_eq!(trace.next_change_after(SimTime::from_secs(60)), None);
+    /// ```
+    pub fn next_change_after(&self, t: SimTime) -> Option<SimTime> {
+        let idx = self.samples.partition_point(|&(st, _)| st <= t);
+        self.samples.get(idx).map(|&(st, _)| st)
+    }
+
     /// The time of the last sample, or `None` when empty.
     pub fn end_time(&self) -> Option<SimTime> {
         self.samples.last().map(|&(t, _)| t)
@@ -272,6 +298,25 @@ mod tests {
         assert_eq!(t.capacity_at(SimTime::from_secs(10)), mbps(5.0));
         assert_eq!(t.capacity_at(SimTime::from_secs(15)), mbps(5.0));
         assert_eq!(t.capacity_at(SimTime::from_secs(25)), mbps(2.0));
+    }
+
+    #[test]
+    fn next_change_after_walks_the_sample_times() {
+        let mut t = BandwidthTrace::new("l");
+        t.push(SimTime::from_secs(10), mbps(5.0));
+        t.push(SimTime::from_secs(10), mbps(6.0));
+        t.push(SimTime::from_secs(20), mbps(2.0));
+        assert_eq!(t.next_change_after(SimTime::ZERO), Some(SimTime::from_secs(10)));
+        assert_eq!(
+            t.next_change_after(SimTime::from_secs(10)),
+            Some(SimTime::from_secs(20))
+        );
+        assert_eq!(
+            t.next_change_after(SimTime::from_secs(15)),
+            Some(SimTime::from_secs(20))
+        );
+        assert_eq!(t.next_change_after(SimTime::from_secs(20)), None);
+        assert_eq!(BandwidthTrace::new("e").next_change_after(SimTime::ZERO), None);
     }
 
     #[test]

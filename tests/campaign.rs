@@ -1,11 +1,13 @@
 //! Campaign-runner determinism battery: thread-count independence,
 //! same-seed replay, engine agreement, and summary sanity. The engine
 //! under test follows `BASS_TEST_ENGINE` (`dense`, `delta`, or
-//! `incremental`), so
-//! CI runs the whole file once per engine.
+//! `incremental`) and the stepping strategy follows
+//! `BASS_TEST_STEP_MODE` (`ticked` or `event-driven`), so CI runs the
+//! whole file once per engine and once per step mode.
 
+use bass::core::StepMode;
 use bass::mesh::AllocEngine;
-use bass::scenario::{run_campaign, CampaignSummary, ScenarioSpec};
+use bass::scenario::{run_campaign_opts, CampaignOptions, CampaignSummary, ScenarioSpec};
 use serde_json::Value;
 
 /// The allocation engine CI selects via `BASS_TEST_ENGINE`; defaults to
@@ -16,6 +18,35 @@ fn engine_under_test() -> AllocEngine {
         Ok("delta") => AllocEngine::Delta,
         _ => AllocEngine::Incremental,
     }
+}
+
+/// The stepping strategy CI selects via `BASS_TEST_STEP_MODE`; defaults
+/// to executing every tick. Because event-driven campaigns are
+/// documented as byte-identical to ticked ones, every assertion in this
+/// battery must hold unchanged under either mode.
+fn step_mode_under_test() -> StepMode {
+    match std::env::var("BASS_TEST_STEP_MODE") {
+        Ok(name) => StepMode::parse(&name).expect("CI passes a valid step mode"),
+        Err(_) => StepMode::Ticked,
+    }
+}
+
+/// [`bass::scenario::run_campaign`] with the battery's step mode
+/// threaded in; the engine/jobs surface stays identical so the test
+/// bodies read the same as the public API.
+fn run_campaign(
+    spec: &ScenarioSpec,
+    seed: u64,
+    jobs: usize,
+    engine: AllocEngine,
+) -> Result<CampaignSummary, bass::scenario::CampaignError> {
+    let opts = CampaignOptions {
+        jobs,
+        engine,
+        step_mode: step_mode_under_test(),
+        ..CampaignOptions::default()
+    };
+    Ok(run_campaign_opts(spec, seed, &opts)?.summary)
 }
 
 /// A reference campaign small enough for test time but exercising churn,

@@ -13,6 +13,7 @@ use bass::apps::testbeds::lan_testbed;
 use bass::apps::{ArrivalProcess, SocialNetWorkload};
 use bass::core::migration::MigrationConfig;
 use bass::core::{ControllerConfig, SchedulerPolicy};
+use bass::core::StepMode;
 use bass::emu::{Recorder, Scenario, SimEnv, SimEnvConfig};
 use bass::mesh::NodeId;
 use bass::netmon::NetMonitorConfig;
@@ -35,10 +36,15 @@ const REL_TOL: f64 = 1e-6;
 /// with two of the three nodes' egress throttled to 25 Mbps for 150
 /// seconds. Fixed seed 13; bit-for-bit deterministic.
 fn run_scenario() -> String {
+    run_scenario_in(StepMode::Ticked)
+}
+
+fn run_scenario_in(step_mode: StepMode) -> String {
     let (mesh, cluster) = lan_testbed(3, 16);
     // The paper's fig13 knobs: 30 s monitoring interval, 0.5 goodput
     // threshold, utilization trigger on.
     let cfg = SimEnvConfig {
+        step_mode,
         policy: SchedulerPolicy::LongestPath,
         controller: ControllerConfig {
             migration: MigrationConfig {
@@ -195,10 +201,20 @@ fn fig13_style_trace_matches_golden_snapshot() {
 /// shortened to a test-sized horizon): churn, fades, a mild fault
 /// storm, two replicas. The full summary JSON is the snapshot.
 fn run_campaign_snapshot() -> String {
+    run_campaign_snapshot_in(StepMode::Ticked)
+}
+
+fn run_campaign_snapshot_in(step_mode: StepMode) -> String {
     let mut spec = bass::scenario::ScenarioSpec::small_reference();
     spec.horizon_ticks = 300;
-    bass::scenario::run_campaign(&spec, 20, 2, bass::mesh::AllocEngine::Incremental)
+    let opts = bass::scenario::CampaignOptions {
+        jobs: 2,
+        step_mode,
+        ..bass::scenario::CampaignOptions::default()
+    };
+    bass::scenario::run_campaign_opts(&spec, 20, &opts)
         .expect("reference campaign runs")
+        .summary
         .to_json()
 }
 
@@ -228,6 +244,50 @@ fn campaign_20node_matches_golden_snapshot() {
          GOLDEN_UPDATE=1 cargo test --test golden):\n{}",
         diffs.join("\n")
     );
+}
+
+/// The event-driven arm of the fig13 snapshot: tick-skipping must
+/// replay the *same* golden bytes — no separate snapshot exists, and
+/// `GOLDEN_UPDATE` deliberately never writes from this arm.
+#[test]
+fn fig13_event_driven_replays_the_same_golden() {
+    let event = run_scenario_in(StepMode::EventDriven);
+    assert_eq!(
+        run_scenario(),
+        event,
+        "event-driven fig13 run must be byte-identical to ticked mode"
+    );
+    if std::env::var("GOLDEN_UPDATE").is_ok() {
+        return; // the ticked arm owns regeneration
+    }
+    let golden_text = std::fs::read_to_string(GOLDEN_PATH).expect("golden snapshot present");
+    let golden: Value = serde_json::from_str(&golden_text).expect("golden parses");
+    let got: Value = serde_json::from_str(&event).expect("snapshot parses");
+    let mut diffs = Vec::new();
+    compare("$", &golden, &got, &mut diffs);
+    assert!(diffs.is_empty(), "event-driven fig13 drifted from golden:\n{}", diffs.join("\n"));
+}
+
+/// The event-driven arm of the 20-node campaign snapshot — same golden
+/// file, bit-for-bit.
+#[test]
+fn campaign_20node_event_driven_replays_the_same_golden() {
+    let event = run_campaign_snapshot_in(StepMode::EventDriven);
+    assert_eq!(
+        run_campaign_snapshot(),
+        event,
+        "event-driven campaign must be byte-identical to ticked mode"
+    );
+    if std::env::var("GOLDEN_UPDATE").is_ok() {
+        return; // the ticked arm owns regeneration
+    }
+    let golden_text =
+        std::fs::read_to_string(GOLDEN_CAMPAIGN_PATH).expect("golden snapshot present");
+    let golden: Value = serde_json::from_str(&golden_text).expect("golden parses");
+    let got: Value = serde_json::from_str(&event).expect("snapshot parses");
+    let mut diffs = Vec::new();
+    compare("$", &golden, &got, &mut diffs);
+    assert!(diffs.is_empty(), "event-driven campaign drifted from golden:\n{}", diffs.join("\n"));
 }
 
 #[test]
