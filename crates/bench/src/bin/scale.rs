@@ -78,6 +78,18 @@ struct SizeResult {
     /// the same fan-out stream; only measured where several districts
     /// exist to fan out.
     delta_sharded: Option<EngineResult>,
+    /// The 1-dirty-district steady state: serial delta with every
+    /// perturbation confined to district 0, so tick after tick the same
+    /// single component is dirty and the rest of the city never moves —
+    /// the regime the dirty-set pipeline (O(dirty) demand/capacity/
+    /// usage/queue passes) is built for. Only measured where several
+    /// districts exist.
+    delta_steady: Option<EngineResult>,
+    /// The same district-0 stream with dirty-set tracking switched off
+    /// (`Mesh::set_dirty_tracking(false)`): every tick re-walks all
+    /// flows and links, the pre-dirty-set behaviour. The gap to
+    /// `delta_steady` is what the dirty-set pipeline buys.
+    delta_steady_fullref: Option<EngineResult>,
     /// The pre-incremental reference (`AllocEngine::Dense`); skipped at
     /// sizes where a single dense tick is impractically slow.
     dense: Option<EngineResult>,
@@ -195,35 +207,54 @@ fn build_mesh(nodes: usize, flows: usize, engine: AllocEngine, jobs: usize) -> M
     mesh
 }
 
+/// Which links the per-tick perturbation stream may touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stream {
+    /// One capped link per tick, drawn mesh-wide — at most one dirty
+    /// district per tick, a *different* one each tick. The sparse
+    /// regime the delta engine targets.
+    Sparse,
+    /// One capped link per tick *in every district*, dirtying them all
+    /// at once — the storm-recovery regime the sharded fill exists for,
+    /// and the only stream where `delta x4` and serial delta run
+    /// different code.
+    Fanout,
+    /// One capped link per tick, always drawn from district 0 — the
+    /// 1-dirty-district steady state, where the same single component
+    /// is dirty tick after tick and the rest of the city never moves.
+    /// The regime the dirty-set demand/capacity/usage/queue passes are
+    /// built for.
+    Steady,
+}
+
 /// Ticks `mesh` for at least `window_s` wall-clock seconds (after a
 /// short warmup) and reports the achieved tick rate. Each tick first
 /// applies one seeded link-capacity change (`tc`-style cap between 30
 /// and 120 Mbps, sometimes above the link's base rate and therefore
 /// inert) — the sparse-perturbation regime the delta engine targets.
 /// The perturbation stream depends only on the seed and the tick index,
-/// so every engine replays the identical workload.
-/// When `fanout` is false each tick caps one random link mesh-wide —
-/// at most one dirty district, the sparse regime. When true each tick
-/// caps one random link *in every district*, dirtying them all at once
-/// — the storm-recovery regime the sharded fill exists for, and the
-/// only stream where `delta x4` and serial delta run different code.
+/// so every engine replays the identical workload. `stream` picks
+/// which links the perturbations may touch — see [`Stream`].
 fn measure(
     mut mesh: Mesh,
     nodes: usize,
     step: SimDuration,
     window_s: f64,
-    fanout: bool,
+    stream: Stream,
 ) -> EngineResult {
     let districts = district_count(nodes);
     let per_district = nodes.div_ceil(districts);
-    let groups: Vec<Vec<(NodeId, NodeId)>> = if fanout {
+    let by_district = || {
         let mut groups = vec![Vec::new(); districts];
         for (_, l) in mesh.topology().links() {
             groups[(l.a.0 as usize / per_district).min(districts - 1)].push((l.a, l.b));
         }
         groups
-    } else {
-        vec![mesh.topology().links().map(|(_, l)| (l.a, l.b)).collect()]
+    };
+    let groups: Vec<Vec<(NodeId, NodeId)>> = match stream {
+        Stream::Fanout => by_district(),
+        Stream::Steady => vec![by_district().swap_remove(0)],
+        Stream::Sparse => vec![mesh.topology().links().map(|(_, l)| (l.a, l.b)).collect()],
     };
     let mut rng = SimRng::seed_from_u64(SEED ^ 0xD15F ^ nodes as u64);
     let perturb = |mesh: &mut Mesh, rng: &mut SimRng| {
@@ -366,21 +397,63 @@ fn main() -> ExitCode {
         let mesh = build_mesh(nodes, flows, AllocEngine::Incremental, 1);
         let links = mesh.topology().link_count();
         let districts = district_count(nodes);
-        let incremental = measure(mesh, nodes, step, window_s, false);
-        let delta =
-            measure(build_mesh(nodes, flows, AllocEngine::Delta, 1), nodes, step, window_s, false);
+        let incremental = measure(mesh, nodes, step, window_s, Stream::Sparse);
+        let delta = measure(
+            build_mesh(nodes, flows, AllocEngine::Delta, 1),
+            nodes,
+            step,
+            window_s,
+            Stream::Sparse,
+        );
         // The sharded comparison runs under the fan-out stream (all
         // districts dirty each tick) for both job counts: that is the
         // regime where the two fills actually diverge, and the pair CI
         // gates on (`delta x4` must never fall behind serial delta).
         let delta_fanout = (districts > 1).then(|| {
-            measure(build_mesh(nodes, flows, AllocEngine::Delta, 1), nodes, step, window_s, true)
+            measure(
+                build_mesh(nodes, flows, AllocEngine::Delta, 1),
+                nodes,
+                step,
+                window_s,
+                Stream::Fanout,
+            )
         });
         let delta_sharded = (districts > 1).then(|| {
-            measure(build_mesh(nodes, flows, AllocEngine::Delta, 4), nodes, step, window_s, true)
+            measure(
+                build_mesh(nodes, flows, AllocEngine::Delta, 4),
+                nodes,
+                step,
+                window_s,
+                Stream::Fanout,
+            )
+        });
+        // The 1-dirty-district pair replays the identical district-0
+        // stream with dirty-set tracking on (the default) and off (the
+        // pre-dirty-set full-refresh behaviour); the two runs produce
+        // bit-identical allocations, so the ratio is a pure cost
+        // comparison and CI gates on it at the 500-node rung.
+        let delta_steady = (districts > 1).then(|| {
+            measure(
+                build_mesh(nodes, flows, AllocEngine::Delta, 1),
+                nodes,
+                step,
+                window_s,
+                Stream::Steady,
+            )
+        });
+        let delta_steady_fullref = (districts > 1).then(|| {
+            let mut mesh = build_mesh(nodes, flows, AllocEngine::Delta, 1);
+            mesh.set_dirty_tracking(false);
+            measure(mesh, nodes, step, window_s, Stream::Steady)
         });
         let dense = (nodes <= dense_max_nodes).then(|| {
-            measure(build_mesh(nodes, flows, AllocEngine::Dense, 1), nodes, step, window_s, false)
+            measure(
+                build_mesh(nodes, flows, AllocEngine::Dense, 1),
+                nodes,
+                step,
+                window_s,
+                Stream::Sparse,
+            )
         });
         let speedup = dense
             .as_ref()
@@ -388,7 +461,7 @@ fn main() -> ExitCode {
         let delta_speedup = delta.ticks_per_sec / incremental.ticks_per_sec;
         println!(
             "{nodes:>4} nodes {flows:>5} flows {links:>4} links {districts:>2} districts | \
-             incremental {:>9.0} ticks/s | delta {:>9.0} ticks/s ({delta_speedup:.1}x){}{}",
+             incremental {:>9.0} ticks/s | delta {:>9.0} ticks/s ({delta_speedup:.1}x){}{}{}",
             incremental.ticks_per_sec,
             delta.ticks_per_sec,
             match (&delta_fanout, &delta_sharded) {
@@ -397,6 +470,15 @@ fn main() -> ExitCode {
                     f.ticks_per_sec,
                     s.ticks_per_sec,
                     s.ticks_per_sec / f.ticks_per_sec
+                ),
+                _ => String::new(),
+            },
+            match (&delta_steady, &delta_steady_fullref) {
+                (Some(d), Some(r)) => format!(
+                    " | steady dirty {:>8.0} vs full {:>8.0} ticks/s ({:.1}x)",
+                    d.ticks_per_sec,
+                    r.ticks_per_sec,
+                    d.ticks_per_sec / r.ticks_per_sec
                 ),
                 _ => String::new(),
             },
@@ -415,6 +497,8 @@ fn main() -> ExitCode {
             delta,
             delta_fanout,
             delta_sharded,
+            delta_steady,
+            delta_steady_fullref,
             dense,
             speedup,
             delta_speedup,

@@ -7,7 +7,7 @@
 //!                  [--no-migrations] [--seed N] [--json] [--journal events.jsonl]
 //!                  [--faults plan.json] [--engine dense|incremental|delta]
 //!                  [--alloc-jobs N] [--step-mode ticked|event-driven]
-//!                  [--metrics-out metrics.prom]
+//!                  [--metrics-out metrics.prom] [--verify-score-cache]
 //! bassctl recommend --manifest app.json --testbed mesh.json [--json]
 //! bassctl traces   --testbed mesh.json [--duration SECS] [--seed N]
 //! bassctl campaign --spec scenario.json [--seed N] [--jobs N] [--out summary.json]
@@ -50,6 +50,7 @@ struct Args {
     alloc_jobs: usize,
     step_mode: bass_core::StepMode,
     metrics_out: Option<String>,
+    verify_score_cache: bool,
     profile: bool,
     progress: bass_obs::ProgressLevel,
     input: Option<String>,
@@ -99,6 +100,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         alloc_jobs: 1,
         step_mode: bass_core::StepMode::Ticked,
         metrics_out: None,
+        verify_score_cache: false,
         profile: false,
         progress: bass_obs::ProgressLevel::Off,
         input: None,
@@ -148,6 +150,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
                 args.step_mode = bass_core::StepMode::parse(&value("--step-mode")?)?
             }
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--verify-score-cache" => args.verify_score_cache = true,
             "--profile" => args.profile = true,
             "--progress" => args.progress = bass_obs::ProgressLevel::Info,
             "--in" => args.input = Some(value("--in")?),
@@ -274,6 +277,7 @@ fn run() -> Result<(), String> {
                     alloc_jobs: args.alloc_jobs,
                     step_mode: args.step_mode,
                     metrics_out: args.metrics_out.clone().map(std::path::PathBuf::from),
+                    verify_score_cache: args.verify_score_cache,
                 },
             )
             .map_err(|e| e.to_string())?;

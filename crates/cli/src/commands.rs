@@ -186,6 +186,10 @@ pub struct SimulateOptions {
     /// per-phase span aggregates to this path (see
     /// `docs/OBSERVABILITY.md`). Never alters simulation outputs.
     pub metrics_out: Option<std::path::PathBuf>,
+    /// Re-derive every cached controller target score densely and panic
+    /// on bitwise divergence (`--verify-score-cache`; debug oracle for
+    /// the score cache, outputs byte-identical either way).
+    pub verify_score_cache: bool,
 }
 
 impl Default for SimulateOptions {
@@ -201,6 +205,7 @@ impl Default for SimulateOptions {
             alloc_jobs: 1,
             step_mode: bass_core::StepMode::Ticked,
             metrics_out: None,
+            verify_score_cache: false,
         }
     }
 }
@@ -254,6 +259,10 @@ pub fn simulate(
         alloc_engine: opts.engine,
         alloc_jobs: opts.alloc_jobs,
         step_mode: opts.step_mode,
+        controller: bass_core::ControllerConfig {
+            verify_score_cache: opts.verify_score_cache,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut env = SimEnv::new(mesh, cluster, dag, cfg);
@@ -638,6 +647,9 @@ mod tests {
                 alloc_jobs: 1,
                 step_mode: bass_core::StepMode::Ticked,
                 metrics_out: None,
+                // A migrating run through the CLI path doubles as an
+                // end-to-end oracle check of the score cache.
+                verify_score_cache: true,
             },
         )
         .unwrap();

@@ -31,6 +31,12 @@ pub struct ControllerConfig {
     /// bandwidth toward the component's dependencies). Matches the
     /// deployed system's behaviour for traffic not declared in the DAG.
     pub best_effort_targets: bool,
+    /// Debug oracle for the target-score cache: re-derive every cached
+    /// score densely and panic on any bitwise divergence. Outcomes are
+    /// byte-identical either way — this only trades speed for a loud
+    /// check of the cache's invalidation logic.
+    #[serde(default)]
+    pub verify_score_cache: bool,
 }
 
 impl Default for ControllerConfig {
@@ -40,6 +46,7 @@ impl Default for ControllerConfig {
             cooldown: SimDuration::from_secs(60),
             full_probe_on_headroom_drop: true,
             best_effort_targets: true,
+            verify_score_cache: false,
         }
     }
 }
@@ -93,6 +100,7 @@ pub struct BassController {
     cfg: ControllerConfig,
     last_migration: Option<SimTime>,
     full_probes_triggered: u64,
+    cache: crate::score_cache::TargetScoreCache,
 }
 
 impl BassController {
@@ -102,6 +110,7 @@ impl BassController {
             cfg,
             last_migration: None,
             full_probes_triggered: 0,
+            cache: crate::score_cache::TargetScoreCache::new(),
         }
     }
 
@@ -118,6 +127,12 @@ impl BassController {
     pub fn reset(&mut self) {
         self.last_migration = None;
         self.full_probes_triggered = 0;
+        self.cache.clear();
+    }
+
+    /// How the persistent target-score cache has been behaving.
+    pub fn score_cache_stats(&self) -> crate::score_cache::ScoreCacheStats {
+        self.cache.stats()
     }
 
     /// When the last migration round was planned, if ever.
@@ -221,6 +236,12 @@ impl BassController {
         let placement = cluster.placement();
         let candidates = find_candidates(dag, &placement, goodput, mesh, &self.cfg.migration, pinned);
         clock.lap(profiler.as_deref_mut(), "ctl.candidates");
+        // Bring the persistent score cache up to date with this round's
+        // world (flush on placement/routing moves, targeted eviction on
+        // logged capacity changes) so target selection below re-scores
+        // only what actually changed since the previous round.
+        self.cache.sync(mesh, cluster, &placement);
+        clock.lap(profiler.as_deref_mut(), "ctl.score_cache");
         if let Some(j) = journal.as_deref_mut() {
             for v in &candidates.violations {
                 let threshold = match v.trigger {
@@ -248,7 +269,7 @@ impl BassController {
             };
             let observed = candidates.worst_goodput_fraction(component);
             let degraded = observed < self.cfg.migration.goodput_threshold;
-            let target = crate::rescheduler::select_target(
+            let target = crate::rescheduler::select_target_with(
                 component,
                 dag,
                 cluster,
@@ -256,6 +277,8 @@ impl BassController {
                 observed,
                 degraded,
                 self.cfg.best_effort_targets,
+                Some(&mut self.cache),
+                self.cfg.verify_score_cache,
             );
             match target {
                 Ok(to) => {

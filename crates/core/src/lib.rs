@@ -18,6 +18,10 @@
 //! - [`rescheduler`]: choosing the target node for a migrating
 //!   component (most co-located dependencies, then resource/bandwidth
 //!   fit).
+//! - [`score_cache`]: the dirty-set-invalidated cache of target
+//!   selection scores the controller carries across rounds, with the
+//!   dense re-score kept behind a verify flag as a bit-identical
+//!   oracle.
 //! - [`controller`]: the bandwidth controller (§4.3) — headroom
 //!   monitoring, full-probe escalation, cooldowns, and migration
 //!   planning.
@@ -45,9 +49,11 @@ pub mod planner;
 pub mod ranking;
 pub mod rescheduler;
 pub mod scheduler;
+pub mod score_cache;
 pub mod tuning;
 
 pub use controller::{BassController, ControllerConfig, ControllerOutcome, MigrationPlan};
+pub use score_cache::{ScoreCacheStats, TargetScoreCache};
 pub use events::{EventQueue, EventSource, SimEvent, StepMode};
 pub use heuristics::{BfsWeighting, ComponentOrdering, HeuristicError};
 pub use placement::PlacementError;

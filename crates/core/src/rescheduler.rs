@@ -5,6 +5,7 @@
 //! dependencies, and with sufficient CPU, memory, and bandwidth".
 
 use crate::ranking::rank_nodes;
+use crate::score_cache::TargetScoreCache;
 use bass_appdag::{AppDag, ComponentId};
 use bass_cluster::Cluster;
 use bass_mesh::{Mesh, NodeId};
@@ -55,6 +56,22 @@ pub fn pick_target(
     cluster: &Cluster,
     mesh: &Mesh,
 ) -> Result<NodeId, RescheduleError> {
+    pick_target_with(component, dag, cluster, mesh, None)
+}
+
+/// [`pick_target`] reusing a synced [`TargetScoreCache`]'s node ranking
+/// instead of re-ranking per call. Bit-identical outcomes.
+///
+/// # Errors
+///
+/// See [`RescheduleError`].
+pub fn pick_target_with(
+    component: ComponentId,
+    dag: &AppDag,
+    cluster: &Cluster,
+    mesh: &Mesh,
+    cache: Option<&TargetScoreCache>,
+) -> Result<NodeId, RescheduleError> {
     let comp = dag
         .component(component)
         .ok_or(RescheduleError::UnknownComponent(component))?;
@@ -72,9 +89,25 @@ pub fn pick_target(
     }
 
     // Candidate order: dependency count descending, then availability
-    // rank, excluding the current node and any down node.
-    let ranked = rank_nodes(cluster, mesh);
-    let rank_of = |n: NodeId| ranked.iter().position(|&r| r == n).unwrap_or(usize::MAX);
+    // rank, excluding the current node and any down node. The rank is a
+    // position map, not a linear scan per comparison — the scan made
+    // the sort O(N² log N) and showed up as the bulk of
+    // `ctl.target_select` on large meshes.
+    let ranked_local;
+    let rank_pos_local;
+    let (ranked, rank_pos): (&[NodeId], &BTreeMap<NodeId, usize>) = match cache {
+        Some(c) => (c.ranked(), c.rank_pos()),
+        None => {
+            ranked_local = rank_nodes(cluster, mesh);
+            rank_pos_local = ranked_local
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, i))
+                .collect::<BTreeMap<NodeId, usize>>();
+            (&ranked_local, &rank_pos_local)
+        }
+    };
+    let rank_of = |n: NodeId| rank_pos.get(&n).copied().unwrap_or(usize::MAX);
     let mut candidates: Vec<NodeId> = ranked
         .iter()
         .copied()
@@ -125,7 +158,30 @@ pub fn pick_target_best_effort(
     cluster: &Cluster,
     mesh: &Mesh,
 ) -> Result<NodeId, RescheduleError> {
-    if let Ok(node) = pick_target(component, dag, cluster, mesh) {
+    pick_target_best_effort_with(component, dag, cluster, mesh, None, false)
+}
+
+/// [`pick_target_best_effort`] with an optional synced
+/// [`TargetScoreCache`]; `verify` re-derives every cached score densely
+/// and panics on bitwise divergence. Bit-identical outcomes.
+///
+/// # Errors
+///
+/// See [`pick_target_best_effort`].
+///
+/// # Panics
+///
+/// With `verify`, panics when a cached score diverges from the dense
+/// scorer — that is the point of the flag.
+pub fn pick_target_best_effort_with(
+    component: ComponentId,
+    dag: &AppDag,
+    cluster: &Cluster,
+    mesh: &Mesh,
+    mut cache: Option<&mut TargetScoreCache>,
+    verify: bool,
+) -> Result<NodeId, RescheduleError> {
+    if let Ok(node) = pick_target_with(component, dag, cluster, mesh, cache.as_deref()) {
         return Ok(node);
     }
     let comp = dag
@@ -136,18 +192,11 @@ pub fn pick_target_best_effort(
         .ok_or(RescheduleError::NotPlaced(component))?;
     let deps = dag.neighbors(component);
 
-    let current_score = bandwidth_score(current, &deps, cluster, mesh);
-    let ranked = rank_nodes(cluster, mesh);
-    let best = ranked
-        .into_iter()
-        .filter(|&n| n != current && mesh.node_is_up(n))
-        .filter(|&n| cluster.fits(n, comp.resources).unwrap_or(false))
-        .map(|n| (n, bandwidth_score(n, &deps, cluster, mesh)))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
-    match best {
-        Some((node, s)) if clearly_better(s, current_score) => Ok(node),
-        _ => Err(RescheduleError::NoFeasibleNode(component)),
-    }
+    let current_score = score_of(&mut cache, component, current, &deps, cluster, mesh, verify);
+    best_scoring_target(component, comp.resources, current, &deps, cluster, mesh, &mut cache, verify)
+        .filter(|&(_, s)| clearly_better(s, current_score))
+        .map(|(node, _)| node)
+        .ok_or(RescheduleError::NoFeasibleNode(component))
 }
 
 /// The controller's target selection with an **improvement gate**: a
@@ -180,6 +229,43 @@ pub fn select_target(
     degraded: bool,
     best_effort: bool,
 ) -> Result<NodeId, RescheduleError> {
+    select_target_with(
+        component,
+        dag,
+        cluster,
+        mesh,
+        observed_fraction,
+        degraded,
+        best_effort,
+        None,
+        false,
+    )
+}
+
+/// [`select_target`] with an optional synced [`TargetScoreCache`];
+/// `verify` re-derives every cached score densely and panics on bitwise
+/// divergence. Bit-identical outcomes with or without the cache.
+///
+/// # Errors
+///
+/// See [`select_target`].
+///
+/// # Panics
+///
+/// With `verify`, panics when a cached score diverges from the dense
+/// scorer.
+#[allow(clippy::too_many_arguments)]
+pub fn select_target_with(
+    component: ComponentId,
+    dag: &AppDag,
+    cluster: &Cluster,
+    mesh: &Mesh,
+    observed_fraction: f64,
+    degraded: bool,
+    best_effort: bool,
+    mut cache: Option<&mut TargetScoreCache>,
+    verify: bool,
+) -> Result<NodeId, RescheduleError> {
     let comp = dag
         .component(component)
         .ok_or(RescheduleError::UnknownComponent(component))?;
@@ -188,13 +274,13 @@ pub fn select_target(
         .ok_or(RescheduleError::NotPlaced(component))?;
     let deps = dag.neighbors(component);
 
-    let hypothetical = bandwidth_score(current, &deps, cluster, mesh);
+    let hypothetical = score_of(&mut cache, component, current, &deps, cluster, mesh, verify);
     let current_score = (
         hypothetical.0.min(observed_fraction.clamp(0.0, 1.0)),
         hypothetical.1,
     );
 
-    if let Ok(target) = pick_target(component, dag, cluster, mesh) {
+    if let Ok(target) = pick_target_with(component, dag, cluster, mesh, cache.as_deref()) {
         // A *degraded* component (goodput collapsed) moves to any
         // strictly feasible node — the paper's §3.2.2 behaviour. A
         // merely utilization-flagged component additionally needs the
@@ -202,19 +288,22 @@ pub fn select_target(
         if degraded {
             return Ok(target);
         }
-        let cand = bandwidth_score(target, &deps, cluster, mesh);
+        let cand = score_of(&mut cache, component, target, &deps, cluster, mesh, verify);
         if clearly_better(cand, current_score) {
             return Ok(target);
         }
     }
     if best_effort {
-        let ranked = rank_nodes(cluster, mesh);
-        let best = ranked
-            .into_iter()
-            .filter(|&n| n != current && mesh.node_is_up(n))
-            .filter(|&n| cluster.fits(n, comp.resources).unwrap_or(false))
-            .map(|n| (n, bandwidth_score(n, &deps, cluster, mesh)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+        let best = best_scoring_target(
+            component,
+            comp.resources,
+            current,
+            &deps,
+            cluster,
+            mesh,
+            &mut cache,
+            verify,
+        );
         if let Some((node, s)) = best {
             if clearly_better(s, current_score) {
                 return Ok(node);
@@ -222,6 +311,62 @@ pub fn select_target(
         }
     }
     Err(RescheduleError::NoFeasibleNode(component))
+}
+
+/// The CPU/memory-feasible node (other than `current`) with the best
+/// bandwidth score, in the availability-rank iteration order the dense
+/// path uses — `max_by` keeps the *last* maximum, so the iteration
+/// order is part of the contract and must not change.
+#[allow(clippy::too_many_arguments)]
+fn best_scoring_target(
+    component: ComponentId,
+    resources: bass_appdag::ResourceReq,
+    current: NodeId,
+    deps: &[(ComponentId, Bandwidth)],
+    cluster: &Cluster,
+    mesh: &Mesh,
+    cache: &mut Option<&mut TargetScoreCache>,
+    verify: bool,
+) -> Option<(NodeId, (f64, f64))> {
+    let ranked: Vec<NodeId> = match cache.as_deref() {
+        Some(c) => c.ranked().to_vec(),
+        None => rank_nodes(cluster, mesh),
+    };
+    ranked
+        .into_iter()
+        .filter(|&n| n != current && mesh.node_is_up(n))
+        .filter(|&n| cluster.fits(n, resources).unwrap_or(false))
+        .map(|n| (n, score_of(cache, component, n, deps, cluster, mesh, verify)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+}
+
+/// One bandwidth score, through the cache when one is supplied. With
+/// `verify`, the dense scorer runs alongside and any bitwise mismatch
+/// panics — the debug oracle for the cache's invalidation logic.
+fn score_of(
+    cache: &mut Option<&mut TargetScoreCache>,
+    component: ComponentId,
+    node: NodeId,
+    deps: &[(ComponentId, Bandwidth)],
+    cluster: &Cluster,
+    mesh: &Mesh,
+    verify: bool,
+) -> (f64, f64) {
+    match cache.as_deref_mut() {
+        Some(c) => {
+            let s = c.score(component, node, deps, cluster, mesh);
+            if verify {
+                let dense = bandwidth_score(node, deps, cluster, mesh);
+                assert!(
+                    s.0.to_bits() == dense.0.to_bits() && s.1.to_bits() == dense.1.to_bits(),
+                    "score cache diverged for component {component} at node {node}: \
+                     cached {s:?} vs dense {dense:?}"
+                );
+            }
+            s
+        }
+        None => bandwidth_score(node, deps, cluster, mesh),
+    }
 }
 
 /// `(worst satisfied fraction, total achieved bps)` of a hypothetical
@@ -235,6 +380,20 @@ fn bandwidth_score(
     deps: &[(ComponentId, Bandwidth)],
     cluster: &Cluster,
     mesh: &Mesh,
+) -> (f64, f64) {
+    bandwidth_score_with_deps(node, deps, cluster, mesh, None)
+}
+
+/// [`bandwidth_score`] that additionally reports *which* links the
+/// score read (one entry per distinct constraint link, unsorted) — the
+/// invalidation key the [`TargetScoreCache`] stores alongside the
+/// cached value.
+pub(crate) fn bandwidth_score_with_deps(
+    node: NodeId,
+    deps: &[(ComponentId, Bandwidth)],
+    cluster: &Cluster,
+    mesh: &Mesh,
+    mut dep_links: Option<&mut Vec<u32>>,
 ) -> (f64, f64) {
     use bass_mesh::flow::{max_min_allocate, Constraint};
     use std::collections::BTreeMap;
@@ -266,9 +425,16 @@ fn bandwidth_score(
     }
     let constraints: Vec<Constraint> = link_members
         .into_iter()
-        .map(|((a, b), members)| Constraint {
-            capacity: mesh.link_capacity(a, b).unwrap_or(Bandwidth::ZERO),
-            members,
+        .map(|((a, b), members)| {
+            if let Some(v) = dep_links.as_deref_mut() {
+                if let Some(lid) = mesh.topology().find_link(a, b) {
+                    v.push(lid.0 as u32);
+                }
+            }
+            Constraint {
+                capacity: mesh.link_capacity(a, b).unwrap_or(Bandwidth::ZERO),
+                members,
+            }
         })
         .collect();
     let rates = max_min_allocate(&demands, &constraints);

@@ -1,0 +1,208 @@
+//! Cached target-selection scores for the controller.
+//!
+//! `ctl.target_select` is the controller's heaviest span: every
+//! candidate evaluation re-ranks all nodes and re-runs the hypothetical
+//! max-min allocation ([`bandwidth_score`]) per `(component, node)`
+//! pair, even though in steady state almost none of the score inputs
+//! moved since the previous round. This module keeps those results
+//! across controller ticks and invalidates them from the mesh's dirty
+//! sets instead of recomputing them wholesale — the same
+//! "network-state-aware but cheap" move DCSim makes with incremental
+//! network-state views.
+//!
+//! A cached score is only served when it is provably the value the
+//! dense scorer would produce right now:
+//!
+//! - **Placement** (and the cluster's node set) feeds every score via
+//!   dependency locations and free resources — any change flushes the
+//!   cache (placements move rarely: exactly when a migration landed).
+//! - **Routing / up-down / egress-cap state** feeds path selection —
+//!   [`Mesh::routes_epoch`] moves on any of those, flushing the cache.
+//! - **Link capacities** feed both the rank order and the per-pair
+//!   scores. The mesh logs every observed capacity move (see
+//!   [`Mesh::capacity_changes_since`]); the cache re-ranks and evicts
+//!   only entries whose recorded dependency links intersect the moved
+//!   set. When the mesh has discarded the history the cache flushes.
+//!
+//! Usage-dependent checks ([`path_available`](Mesh::path_available)
+//! inside `bandwidth_feasible`) are never cached: usage moves every
+//! tick and the checks are O(path), not O(mesh).
+//!
+//! The dense re-score stays available behind
+//! [`ControllerConfig::verify_score_cache`](crate::ControllerConfig):
+//! every cache hit is then re-derived from scratch and compared
+//! bitwise, turning any stale-invalidation bug into a loud panic.
+//!
+//! [`bandwidth_score`]: crate::rescheduler
+
+use crate::ranking::rank_nodes;
+use crate::rescheduler::bandwidth_score_with_deps;
+use bass_appdag::ComponentId;
+use bass_cluster::{Cluster, Placement};
+use bass_mesh::{Mesh, NodeId};
+use bass_util::units::Bandwidth;
+use std::collections::BTreeMap;
+
+/// One cached `(component, node)` score with the links it depends on.
+#[derive(Debug, Clone)]
+struct ScoreEntry {
+    /// `(worst satisfied fraction, total achieved bps)`.
+    score: (f64, f64),
+    /// Sorted link indices whose capacity the score read.
+    dep_links: Vec<u32>,
+}
+
+/// Counters describing how the cache has been behaving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScoreCacheStats {
+    /// Scores served from the cache.
+    pub hits: u64,
+    /// Scores computed and inserted.
+    pub misses: u64,
+    /// Entries evicted by targeted capacity-change invalidation.
+    pub evictions: u64,
+    /// Whole-cache flushes (placement/routing moved, history lost).
+    pub flushes: u64,
+}
+
+/// Persistent score state for [`select_target_with`] /
+/// [`pick_target_with`], owned by the controller and carried across
+/// ticks.
+///
+/// Call [`sync`](Self::sync) once per controller round (it is cheap —
+/// O(placement) compare plus O(changed links) eviction), then feed the
+/// cache to the rescheduler entry points.
+///
+/// [`select_target_with`]: crate::rescheduler::select_target_with
+/// [`pick_target_with`]: crate::rescheduler::pick_target_with
+#[derive(Debug, Clone, Default)]
+pub struct TargetScoreCache {
+    valid: bool,
+    place_snap: Placement,
+    node_snap: Vec<NodeId>,
+    routes_epoch: u64,
+    cap_epoch: u64,
+    ranked: Vec<NodeId>,
+    rank_pos: BTreeMap<NodeId, usize>,
+    scores: BTreeMap<(ComponentId, NodeId), ScoreEntry>,
+    stats: ScoreCacheStats,
+}
+
+impl TargetScoreCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops everything; the next [`sync`](Self::sync) starts cold.
+    pub fn clear(&mut self) {
+        let stats = self.stats;
+        *self = Self::default();
+        self.stats = stats;
+    }
+
+    /// Behaviour counters so far.
+    pub fn stats(&self) -> ScoreCacheStats {
+        self.stats
+    }
+
+    /// Brings the cache up to date with the world: flushes on
+    /// placement/node-set/routing changes or lost capacity history,
+    /// otherwise evicts exactly the entries whose dependency links
+    /// moved. Must run before `score` each controller
+    /// round — serving across a missed `sync` would serve stale values.
+    pub fn sync(&mut self, mesh: &Mesh, cluster: &Cluster, placement: &Placement) {
+        let routes = mesh.routes_epoch();
+        let moved = if self.valid { mesh.capacity_changes_since(self.cap_epoch) } else { None };
+        let full = !self.valid
+            || *placement != self.place_snap
+            || routes != self.routes_epoch
+            || moved.is_none();
+        if full {
+            self.scores.clear();
+            self.place_snap = placement.clone();
+            self.node_snap = cluster.node_ids();
+            self.rebuild_ranked(cluster, mesh);
+            self.stats.flushes += 1;
+        } else {
+            let node_snap = cluster.node_ids();
+            if node_snap != self.node_snap {
+                self.scores.clear();
+                self.node_snap = node_snap;
+                self.rebuild_ranked(cluster, mesh);
+                self.stats.flushes += 1;
+            } else {
+                let mut changed: Vec<u32> =
+                    moved.expect("checked above").iter().map(|&(_, l)| l).collect();
+                if !changed.is_empty() {
+                    changed.sort_unstable();
+                    changed.dedup();
+                    // Capacities feed the rank order too.
+                    self.rebuild_ranked(cluster, mesh);
+                    let before = self.scores.len();
+                    self.scores.retain(|_, e| {
+                        !e.dep_links.iter().any(|l| changed.binary_search(l).is_ok())
+                    });
+                    self.stats.evictions += (before - self.scores.len()) as u64;
+                }
+            }
+        }
+        self.routes_epoch = routes;
+        self.cap_epoch = mesh.capacity_epoch();
+        self.valid = true;
+    }
+
+    fn rebuild_ranked(&mut self, cluster: &Cluster, mesh: &Mesh) {
+        self.ranked = rank_nodes(cluster, mesh);
+        self.rank_pos.clear();
+        for (i, &n) in self.ranked.iter().enumerate() {
+            self.rank_pos.insert(n, i);
+        }
+    }
+
+    /// The availability ranking as of the last [`sync`](Self::sync).
+    pub fn ranked(&self) -> &[NodeId] {
+        &self.ranked
+    }
+
+    /// Position lookup into [`ranked`](Self::ranked).
+    pub(crate) fn rank_pos(&self) -> &BTreeMap<NodeId, usize> {
+        &self.rank_pos
+    }
+
+    /// The bandwidth score of hosting `component` (whose dependency
+    /// edges are `deps`) at `node` — served from the cache when the
+    /// entry is live, computed (and remembered with its dependency
+    /// links) otherwise. Bit-identical to the dense
+    /// `bandwidth_score` by construction.
+    pub(crate) fn score(
+        &mut self,
+        component: ComponentId,
+        node: NodeId,
+        deps: &[(ComponentId, Bandwidth)],
+        cluster: &Cluster,
+        mesh: &Mesh,
+    ) -> (f64, f64) {
+        if let Some(e) = self.scores.get(&(component, node)) {
+            self.stats.hits += 1;
+            return e.score;
+        }
+        let mut dep_links = Vec::new();
+        let score = bandwidth_score_with_deps(node, deps, cluster, mesh, Some(&mut dep_links));
+        dep_links.sort_unstable();
+        dep_links.dedup();
+        self.scores.insert((component, node), ScoreEntry { score, dep_links });
+        self.stats.misses += 1;
+        score
+    }
+
+    /// Number of live entries (test/diagnostic aid).
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+}

@@ -131,6 +131,19 @@ struct AllocIndex {
     /// the delta engine (the district map of a gateway-partitioned city
     /// mesh). Rebuilt together with the membership lists.
     comps: ComponentIndex,
+    /// CSR offsets of the flow-slot → egress-nodes map (every path node
+    /// except the destination, whether egress-capped or not) backing the
+    /// O(dirty) usage-view update.
+    flow_egr_off: Vec<usize>,
+    /// CSR payload of the flow-slot → egress-nodes map.
+    flow_egr: Vec<u32>,
+    /// CSR offsets (indexed by node id, length `max_node + 1`) of the
+    /// node → consuming-flow-slots reverse map.
+    egr_members_off: Vec<usize>,
+    /// CSR payload of the reverse map; slots ascend within each node, so
+    /// a partial egress re-sum accumulates in the same order as the
+    /// full flow-major pass.
+    egr_members: Vec<usize>,
     /// Set whenever membership may have changed; cleared by `rebuild`.
     dirty: bool,
 }
@@ -144,6 +157,7 @@ impl AllocIndex {
         link_count: usize,
         flows: &BTreeMap<FlowId, FlowState>,
         egress_caps: &BTreeMap<NodeId, Bandwidth>,
+        max_node: usize,
     ) {
         self.ids.clear();
         self.constraints.clear();
@@ -176,6 +190,36 @@ impl AllocIndex {
             &self.flow_cons_off,
             &self.flow_cons,
         );
+        // Egress CSRs for the O(dirty) usage-view update: forward
+        // (flow slot → path nodes consuming egress) and reverse
+        // (node → consuming flow slots, ascending).
+        self.flow_egr_off.clear();
+        self.flow_egr_off.push(0);
+        self.flow_egr.clear();
+        for f in flows.values() {
+            for node in &f.egress {
+                self.flow_egr.push(node.0);
+            }
+            self.flow_egr_off.push(self.flow_egr.len());
+        }
+        self.egr_members_off.clear();
+        self.egr_members_off.resize(max_node + 1, 0);
+        for &n in &self.flow_egr {
+            self.egr_members_off[n as usize + 1] += 1;
+        }
+        for k in 1..self.egr_members_off.len() {
+            self.egr_members_off[k] += self.egr_members_off[k - 1];
+        }
+        self.egr_members.clear();
+        self.egr_members.resize(self.flow_egr.len(), 0);
+        let mut cursor = self.egr_members_off.clone();
+        for (i, f) in flows.values().enumerate() {
+            for node in &f.egress {
+                let c = &mut cursor[node.0 as usize];
+                self.egr_members[*c] = i;
+                *c += 1;
+            }
+        }
         self.dirty = false;
     }
 }
@@ -291,7 +335,97 @@ pub struct Mesh {
     /// the serial fill at 1000 nodes before the pool. Cloning a mesh
     /// yields an empty pool that respawns on first use.
     shard_pool: ShardPool,
+    /// Largest node id + 1 — the length of dense per-node views.
+    /// Topology is immutable after construction, so this never changes
+    /// (hoisted out of the per-tick usage-view update).
+    max_node: usize,
+    /// Master switch for the O(dirty) tick pipeline (default on; see
+    /// [`Mesh::set_dirty_tracking`]). Off = the full-scan refreshes the
+    /// engines ran before dirty tracking existed — bit-identical
+    /// allocations, just O(F + L) per tick.
+    dirty_tracking: bool,
+    /// True while `link_cap_bps` and the index's link-constraint
+    /// capacities are current for every link *not* in `dirty_links`.
+    caps_valid: bool,
+    /// Per-link membership flags of `dirty_links`.
+    link_dirty: Vec<bool>,
+    /// Links whose effective capacity may have moved since the last
+    /// refresh: trace change-points popped from `trace_heap`, plus
+    /// cap/source/freeze mutations.
+    dirty_links: Vec<u32>,
+    /// Links whose effective capacity *actually* moved in the last
+    /// refresh — the O(dirty) input of the delta engine's diff scan.
+    cap_changed: Vec<u32>,
+    /// Min-heap of upcoming trace change-points `(time, link)` across
+    /// live (unfrozen) traced links; each pop marks the link
+    /// capacity-dirty and re-pushes the link's next change.
+    trace_heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u32)>>,
+    /// False when `trace_heap` must be rebuilt (trace source swapped,
+    /// link (un)frozen, or never built).
+    trace_heap_valid: bool,
+    /// True while `demands_scratch` is current for every flow slot *not*
+    /// in `dirty_flows`.
+    demands_valid: bool,
+    /// Per-flow-slot membership flags of `dirty_flows`.
+    flow_dirty: Vec<bool>,
+    /// Flow slots whose transmit demand may have moved since the last
+    /// refresh: spec changes, queue-backlog byte movements, resets.
+    dirty_flows: Vec<u32>,
+    /// Monotone counter of observed capacity moves (see
+    /// [`Mesh::capacity_changes_since`]).
+    cap_epoch: u64,
+    /// Recent capacity moves `(epoch, link)` with strictly increasing
+    /// epochs, consumed by the controller's score cache; reset (with
+    /// `cap_log_floor` advanced) when it would exceed `CAP_LOG_LIMIT`.
+    cap_log: Vec<(u64, u32)>,
+    /// Epoch at or below which `cap_log` history has been discarded.
+    cap_log_floor: u64,
+    /// Bumped whenever routing, up/down state, or the egress-cap set
+    /// changes — controller score inputs the capacity log cannot
+    /// express.
+    routes_epoch: u64,
+    /// True when the next queue pass must run the full O(F + L) path
+    /// (allocation reshaped, usage views rebuilt, tracking disabled or
+    /// its bookkeeping overflowed).
+    pending_full: bool,
+    /// Per-link membership flags of `pending_links`.
+    pending_link_flag: Vec<bool>,
+    /// Links whose utilization must be re-derived at the next queue
+    /// pass (capacity or usage moved since the last pass).
+    pending_links: Vec<u32>,
+    /// Per-flow-slot membership flags of `pending_flows`.
+    pending_flow_flag: Vec<bool>,
+    /// Flow slots whose rate or demand moved since the last queue pass —
+    /// the candidates for (re)activation.
+    pending_flows: Vec<u32>,
+    /// Per-flow-slot membership flags of `active_flows`.
+    flow_active: Vec<bool>,
+    /// Flow slots whose queue integration is not the identity: nonzero
+    /// backlog, or offered demand above the allocated rate.
+    active_flows: Vec<u32>,
+    /// Per-flow-slot scratch flags of `rho_list`.
+    rho_flag: Vec<bool>,
+    /// Flow slots whose path utilization must be re-pushed this pass
+    /// (they cross a link whose utilization moved).
+    rho_list: Vec<u32>,
+    /// Per-node scratch flags of `touched_nodes`.
+    node_flag: Vec<bool>,
+    /// Nodes whose egress usage must be re-summed this update.
+    touched_nodes: Vec<u32>,
+    /// Partial usage-view updates between drift audits (0 disables; see
+    /// [`Mesh::set_usage_check_every`]).
+    usage_check_every: u64,
+    /// Partial usage-view updates since the last drift audit.
+    usage_ticks: u64,
+    /// Times the drift audit found a divergence and rebuilt the views
+    /// (see [`Mesh::usage_view_rebuilds`]).
+    usage_view_rebuilds: u64,
 }
+
+/// Upper bound on retained capacity-log entries; past this the log
+/// resets and [`Mesh::capacity_changes_since`] readers fall back to a
+/// full rescore.
+const CAP_LOG_LIMIT: usize = 16_384;
 
 impl Mesh {
     /// Creates a mesh over a connected topology; every link starts with
@@ -310,6 +444,7 @@ impl Mesh {
             .map(|_| LinkCapacity::new(CapacitySource::Constant(Bandwidth::ZERO)))
             .collect();
         let link_count = topo.link_count();
+        let max_node = topo.nodes().map(|n| n.0 as usize + 1).max().unwrap_or(0);
         Ok(Mesh {
             topo,
             routes,
@@ -321,7 +456,7 @@ impl Mesh {
             hop_latency: HopLatency::default(),
             allocation: FlowAllocation::default(),
             link_used_bps: vec![0.0; link_count],
-            egress_used_bps: Vec::new(),
+            egress_used_bps: vec![0.0; max_node],
             obs_cap_snapshot: None,
             obs_flow_sig: None,
             down_nodes: BTreeSet::new(),
@@ -343,6 +478,35 @@ impl Mesh {
             dirty_comps: Vec::new(),
             comp_dirty: Vec::new(),
             shard_pool: ShardPool::default(),
+            max_node,
+            dirty_tracking: true,
+            caps_valid: false,
+            link_dirty: vec![false; link_count],
+            dirty_links: Vec::new(),
+            cap_changed: Vec::new(),
+            trace_heap: std::collections::BinaryHeap::new(),
+            trace_heap_valid: false,
+            demands_valid: false,
+            flow_dirty: Vec::new(),
+            dirty_flows: Vec::new(),
+            cap_epoch: 0,
+            cap_log: Vec::new(),
+            cap_log_floor: 0,
+            routes_epoch: 0,
+            pending_full: true,
+            pending_link_flag: vec![false; link_count],
+            pending_links: Vec::new(),
+            pending_flow_flag: Vec::new(),
+            pending_flows: Vec::new(),
+            flow_active: Vec::new(),
+            active_flows: Vec::new(),
+            rho_flag: Vec::new(),
+            rho_list: Vec::new(),
+            node_flag: vec![false; max_node],
+            touched_nodes: Vec::new(),
+            usage_check_every: 1024,
+            usage_ticks: 0,
+            usage_view_rebuilds: 0,
         })
     }
 
@@ -378,6 +542,69 @@ impl Mesh {
     /// Other engines ignore this setting.
     pub fn set_alloc_jobs(&mut self, jobs: usize) {
         self.alloc_jobs = jobs.max(1);
+    }
+
+    /// Whether the O(dirty) tick pipeline is enabled (see
+    /// [`Mesh::set_dirty_tracking`]; default on).
+    pub fn dirty_tracking(&self) -> bool {
+        self.dirty_tracking
+    }
+
+    /// Enables or disables dirty-set tracking. When disabled every tick
+    /// falls back to the full-scan refreshes the engines ran before
+    /// dirty tracking existed — the same allocations, bit for bit, just
+    /// O(F + L) per tick regardless of how little changed. The
+    /// equivalence batteries use the disabled mode as an oracle and the
+    /// scale bench uses it as the full-refresh baseline column.
+    pub fn set_dirty_tracking(&mut self, on: bool) {
+        self.dirty_tracking = on;
+        self.caps_valid = false;
+        self.demands_valid = false;
+        self.pending_full = true;
+    }
+
+    /// Sets how many partial usage-view updates may pass between drift
+    /// audits (0 disables auditing; default 1024). Each audit recomputes
+    /// `link_used`/`egress_used` from scratch and, on any bitwise
+    /// divergence, installs the recomputed views and counts a rebuild.
+    pub fn set_usage_check_every(&mut self, every: u64) {
+        self.usage_check_every = every;
+    }
+
+    /// How many drift audits found (and repaired) a divergence. Stays
+    /// zero in practice: partial updates re-*sum* every affected slot in
+    /// full-pass order instead of applying signed deltas, so no float
+    /// drift can accumulate — the audit is a safety net, not a repair
+    /// loop.
+    pub fn usage_view_rebuilds(&self) -> u64 {
+        self.usage_view_rebuilds
+    }
+
+    /// Monotone counter of observed effective-capacity moves; pair with
+    /// [`Mesh::capacity_changes_since`] to find out *which* links moved.
+    pub fn capacity_epoch(&self) -> u64 {
+        self.cap_epoch
+    }
+
+    /// The links whose effective capacity moved after `epoch` as
+    /// `(epoch, link)` entries with strictly increasing epochs, oldest
+    /// first — or `None` when that history has been discarded, in which
+    /// case the caller must treat every link as changed. Capacity moves
+    /// are observed (and logged) by the allocation refresh, so query
+    /// this after a tick, not between out-of-band mutations.
+    pub fn capacity_changes_since(&self, epoch: u64) -> Option<&[(u64, u32)]> {
+        if epoch < self.cap_log_floor {
+            return None;
+        }
+        let k = self.cap_log.partition_point(|&(e, _)| e <= epoch);
+        Some(&self.cap_log[k..])
+    }
+
+    /// Bumped whenever routing, link/node up-down state, or the
+    /// egress-cap set changes — controller score inputs that move
+    /// without a logged per-link capacity change.
+    pub fn routes_epoch(&self) -> u64 {
+        self.routes_epoch
     }
 
     /// Creates a mesh where every link has the same constant capacity
@@ -525,6 +752,8 @@ impl Mesh {
         let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
         self.trace_freeze.entry(lid).or_insert(self.now);
         self.trace_change_cache.set(None);
+        self.trace_heap_valid = false;
+        self.mark_link_capacity_dirty(lid);
         self.reallocate();
         Ok(())
     }
@@ -538,6 +767,8 @@ impl Mesh {
         let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
         self.trace_freeze.remove(&lid);
         self.trace_change_cache.set(None);
+        self.trace_heap_valid = false;
+        self.mark_link_capacity_dirty(lid);
         self.reallocate();
         Ok(())
     }
@@ -626,6 +857,11 @@ impl Mesh {
             }
         }
         self.index.dirty = true;
+        // Up/down state feeds effective capacities and paths feed
+        // controller scores: both the capacity caches and any score
+        // cache keyed on the routes epoch must refresh.
+        self.caps_valid = false;
+        self.routes_epoch += 1;
     }
 
     // ----- capacity control ------------------------------------------------
@@ -644,6 +880,8 @@ impl Mesh {
         let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
         self.link_caps[lid.0].set_source(source);
         self.trace_change_cache.set(None);
+        self.trace_heap_valid = false;
+        self.mark_link_capacity_dirty(lid);
         Ok(())
     }
 
@@ -660,6 +898,7 @@ impl Mesh {
     ) -> Result<(), MeshError> {
         let lid = self.topo.find_link(a, b).ok_or(MeshError::UnknownLink(a, b))?;
         self.link_caps[lid.0].set_cap(cap);
+        self.mark_link_capacity_dirty(lid);
         Ok(())
     }
 
@@ -686,8 +925,10 @@ impl Mesh {
             }
         }
         // The egress constraint set changed shape (or value): rebuild the
-        // membership index at the next allocation.
+        // membership index at the next allocation. Controller scores see
+        // this through the routes epoch (no per-link capacity is logged).
         self.index.dirty = true;
+        self.routes_epoch += 1;
         Ok(())
     }
 
@@ -750,7 +991,13 @@ impl Mesh {
     /// Returns [`MeshError::UnknownFlow`] for unknown ids.
     pub fn set_flow_demand(&mut self, id: FlowId, demand: Bandwidth) -> Result<(), MeshError> {
         let flow = self.flows.get_mut(&id).ok_or(MeshError::UnknownFlow(id))?;
+        // The emulator re-pushes every demand every tick; only a bitwise
+        // change dirties the slot (the common tick marks nothing).
+        let changed = flow.spec.demand.as_bps().to_bits() != demand.as_bps().to_bits();
         flow.spec.demand = demand;
+        if changed {
+            self.mark_flow_demand_dirty(id);
+        }
         Ok(())
     }
 
@@ -774,6 +1021,9 @@ impl Mesh {
     pub fn reset_flow_queue(&mut self, id: FlowId) -> Result<(), MeshError> {
         let flow = self.flows.get_mut(&id).ok_or(MeshError::UnknownFlow(id))?;
         flow.queue.reset();
+        // Dropping the backlog moves the drain demand and may
+        // deactivate the queue.
+        self.mark_flow_demand_dirty(id);
         Ok(())
     }
 
@@ -819,10 +1069,40 @@ impl Mesh {
         self.now += dt;
         self.reallocate_profiled(profiler.as_deref_mut());
         let mut clock = bass_obs::PhaseClock::new(profiler.is_some());
-        // Per-link utilization for the queueing model, derived from the
-        // effective capacities `reallocate` just cached (same instant, so
-        // no capacity source is queried twice per tick).
         let link_count = self.topo.link_count();
+        let n = self.flows.len();
+        // The O(dirty) pass is only sound when the activity bookkeeping
+        // matches the current flow set and nothing demanded a rebuild.
+        let full = self.pending_full
+            || !self.dirty_tracking
+            || self.index.ids.len() != n
+            || self.allocation.len() != n
+            || self.flow_active.len() != n
+            || self.rho_flag.len() != n
+            || self.pending_flow_flag.len() != n
+            || self.util_scratch.len() != link_count
+            || self.pending_link_flag.len() != link_count;
+        if full {
+            self.advance_queues_full(dt, link_count);
+        } else {
+            self.advance_queues_dirty(dt);
+        }
+        clock.lap(profiler.as_deref_mut(), "mesh.queues");
+        if let Some(j) = journal {
+            self.emit_capacity_changes(j, "trace");
+            self.emit_flow_rate_recompute(j);
+            clock.lap(profiler, "mesh.obs_emit");
+        }
+    }
+
+    /// The full O(F + L) queue pass: derive every link's utilization,
+    /// advance every flow queue, and rebuild the activity bookkeeping
+    /// from scratch — also re-arming the dirty sets so subsequent
+    /// passes can go O(dirty).
+    fn advance_queues_full(&mut self, dt: SimDuration, link_count: usize) {
+        // Per-link utilization for the queueing model, derived from the
+        // effective capacities `reallocate` just cached (same instant,
+        // so no capacity source is queried twice per tick).
         self.util_scratch.resize(link_count, 0.0);
         for i in 0..link_count {
             let cap = self.link_cap_bps[i];
@@ -836,15 +1116,27 @@ impl Mesh {
                 (self.link_used_bps[i] / cap).clamp(0.0, 1.0)
             };
         }
+        let n = self.flows.len();
+        // Backlog movements feed the demand dirty set only while the
+        // slot numbering is live; under a stale index the next refresh
+        // is full anyway.
+        let track = self.dirty_tracking && !self.index.dirty && self.flow_dirty.len() == n;
+        self.flow_active.clear();
+        self.flow_active.resize(n, false);
+        self.active_flows.clear();
+        self.rho_flag.clear();
+        self.rho_flag.resize(n, false);
+        self.rho_list.clear();
         // `reallocate` left `allocation` keyed exactly by the current
         // flow set (ascending), so the two maps zip in lockstep — no
         // per-flow map lookup on the hot path.
         debug_assert_eq!(self.allocation.len(), self.flows.len());
-        for ((&id, flow), (aid, allocated)) in
-            self.flows.iter_mut().zip(self.allocation.iter())
+        for (slot, ((&id, flow), (aid, allocated))) in
+            self.flows.iter_mut().zip(self.allocation.iter()).enumerate()
         {
             debug_assert_eq!(id, aid);
             let _ = id;
+            let before = flow.queue.backlog().as_bytes();
             flow.queue.advance(dt, flow.spec.demand, allocated);
             let rho = flow
                 .links
@@ -852,13 +1144,114 @@ impl Mesh {
                 .map(|l| self.util_scratch[l.0])
                 .fold(0.0f64, f64::max);
             flow.queue.set_path_utilization(rho);
+            if track && flow.queue.backlog().as_bytes() != before && !self.flow_dirty[slot] {
+                self.flow_dirty[slot] = true;
+                self.dirty_flows.push(slot as u32);
+            }
+            if flow.queue.backlog_bits() > 0.0
+                || flow.spec.demand.as_bps() > allocated.as_bps()
+            {
+                self.flow_active[slot] = true;
+                self.active_flows.push(slot as u32);
+            }
         }
-        clock.lap(profiler.as_deref_mut(), "mesh.queues");
-        if let Some(j) = journal {
-            self.emit_capacity_changes(j, "trace");
-            self.emit_flow_rate_recompute(j);
-            clock.lap(profiler, "mesh.obs_emit");
+        // The full pass consumed every pending marker: reset the sets.
+        self.pending_link_flag.clear();
+        self.pending_link_flag.resize(link_count, false);
+        self.pending_links.clear();
+        self.pending_flow_flag.clear();
+        self.pending_flow_flag.resize(n, false);
+        self.pending_flows.clear();
+        self.pending_full = !self.dirty_tracking;
+    }
+
+    /// The O(dirty) queue pass: utilizations re-derived only for links
+    /// whose capacity or usage moved, activity re-evaluated only for
+    /// flows whose rate or demand moved, queue integration only over
+    /// active flows (everyone else's advance is bitwise the identity),
+    /// and path utilization re-pushed only to flows crossing a moved
+    /// link. Only sound right after a tick whose reallocation kept the
+    /// pending sets live (see the guard in
+    /// [`advance_profiled`](Self::advance_profiled)).
+    fn advance_queues_dirty(&mut self, dt: SimDuration) {
+        // 1. Re-derive the utilization of moved links; members of links
+        //    whose utilization bits actually moved need a rho re-push.
+        for k in 0..self.pending_links.len() {
+            let l = self.pending_links[k] as usize;
+            self.pending_link_flag[l] = false;
+            let cap = self.link_cap_bps[l];
+            let util = if cap <= f64::EPSILON {
+                if self.link_used_bps[l] > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                (self.link_used_bps[l] / cap).clamp(0.0, 1.0)
+            };
+            if util.to_bits() == self.util_scratch[l].to_bits() {
+                continue;
+            }
+            self.util_scratch[l] = util;
+            for &m in &self.index.constraints[l].members {
+                if !self.rho_flag[m] {
+                    self.rho_flag[m] = true;
+                    self.rho_list.push(m as u32);
+                }
+            }
         }
+        self.pending_links.clear();
+        // 2. Re-evaluate the activity of touched flows.
+        for k in 0..self.pending_flows.len() {
+            let s = self.pending_flows[k] as usize;
+            self.pending_flow_flag[s] = false;
+            if self.flow_active[s] {
+                continue;
+            }
+            let f = &self.flows[&self.index.ids[s]];
+            let allocated_bps = Bandwidth::from_bps(self.rates_bps[s]).as_bps();
+            if f.queue.backlog_bits() > 0.0 || f.spec.demand.as_bps() > allocated_bps {
+                self.flow_active[s] = true;
+                self.active_flows.push(s as u32);
+            }
+        }
+        self.pending_flows.clear();
+        // 3. Integrate active queues; drop the ones that reached the
+        //    integration fixed point (drained, demand satisfied).
+        let mut k = 0;
+        while k < self.active_flows.len() {
+            let s = self.active_flows[k] as usize;
+            let id = self.index.ids[s];
+            let allocated = Bandwidth::from_bps(self.rates_bps[s]);
+            let flow = self.flows.get_mut(&id).expect("indexed flow exists");
+            let before = flow.queue.backlog().as_bytes();
+            flow.queue.advance(dt, flow.spec.demand, allocated);
+            if flow.queue.backlog().as_bytes() != before && !self.flow_dirty[s] {
+                self.flow_dirty[s] = true;
+                self.dirty_flows.push(s as u32);
+            }
+            if flow.queue.backlog_bits() > 0.0 || flow.spec.demand.as_bps() > allocated.as_bps()
+            {
+                k += 1;
+            } else {
+                self.flow_active[s] = false;
+                self.active_flows.swap_remove(k);
+            }
+        }
+        // 4. Re-push path utilization to flows crossing moved links.
+        for k in 0..self.rho_list.len() {
+            let s = self.rho_list[k] as usize;
+            self.rho_flag[s] = false;
+            let id = self.index.ids[s];
+            let flow = self.flows.get_mut(&id).expect("indexed flow exists");
+            let rho = flow
+                .links
+                .iter()
+                .map(|l| self.util_scratch[l.0])
+                .fold(0.0f64, f64::max);
+            flow.queue.set_path_utilization(rho);
+        }
+        self.rho_list.clear();
     }
 
     /// Whether one `dt`-long [`advance`](Self::advance) would leave
@@ -950,32 +1343,128 @@ impl Mesh {
         }
     }
 
-    /// Fills `demands_scratch` with each flow's transmit demand, in
-    /// ascending flow-id order. A flow with queued backlog asks for
-    /// extra bandwidth to drain it (targeting a one-second drain), on
-    /// top of its offered load — this is how a real transport keeps
-    /// transmitting a queue even after the application stops producing.
-    /// An unroutable flow transmits nothing at all.
-    fn fill_demands(&mut self) {
-        self.demands_scratch.clear();
-        for f in self.flows.values() {
-            self.demands_scratch.push(if !f.routable {
-                Bandwidth::ZERO
-            } else {
-                let drain = f.queue.backlog().rate_over(SimDuration::from_secs(1));
-                f.spec.demand + drain
-            });
+    /// The transmit demand of one flow: offered load plus bandwidth to
+    /// drain any queued backlog within one second — this is how a real
+    /// transport keeps transmitting a queue even after the application
+    /// stops producing. An unroutable flow transmits nothing at all.
+    fn transmit_demand(f: &FlowState) -> Bandwidth {
+        if !f.routable {
+            Bandwidth::ZERO
+        } else {
+            f.spec.demand + f.queue.backlog().rate_over(SimDuration::from_secs(1))
         }
     }
 
-    /// Refreshes `link_cap_bps` and the persistent index's constraint
-    /// capacities from the capacity sources at `now`; membership is
-    /// untouched.
+    /// Marks one link as needing a capacity re-read at the next refresh.
+    fn mark_link_capacity_dirty(&mut self, lid: LinkId) {
+        if lid.0 >= self.link_dirty.len() {
+            self.caps_valid = false;
+            return;
+        }
+        if !self.link_dirty[lid.0] {
+            self.link_dirty[lid.0] = true;
+            self.dirty_links.push(lid.0 as u32);
+        }
+    }
+
+    /// Marks one flow's transmit demand (and queue-activity predicate)
+    /// as needing a refresh at the next allocation / queue pass.
+    fn mark_flow_demand_dirty(&mut self, id: FlowId) {
+        if self.index.dirty || self.flow_dirty.len() != self.index.ids.len() {
+            // The slot map is stale; the next allocation runs the full
+            // refresh (and a full queue pass) anyway.
+            self.demands_valid = false;
+            self.pending_full = true;
+            return;
+        }
+        match self.index.ids.binary_search(&id) {
+            Ok(slot) => {
+                if !self.flow_dirty[slot] {
+                    self.flow_dirty[slot] = true;
+                    self.dirty_flows.push(slot as u32);
+                }
+                self.touch_flow(slot);
+            }
+            Err(_) => {
+                self.demands_valid = false;
+                self.pending_full = true;
+            }
+        }
+    }
+
+    /// Queues a link for utilization re-derivation at the next queue
+    /// pass.
+    fn touch_link(&mut self, l: usize) {
+        if l >= self.pending_link_flag.len() {
+            self.pending_full = true;
+            return;
+        }
+        if !self.pending_link_flag[l] {
+            self.pending_link_flag[l] = true;
+            self.pending_links.push(l as u32);
+        }
+    }
+
+    /// Queues a flow slot for queue-activity re-evaluation at the next
+    /// queue pass.
+    fn touch_flow(&mut self, slot: usize) {
+        if slot >= self.pending_flow_flag.len() {
+            self.pending_full = true;
+            return;
+        }
+        if !self.pending_flow_flag[slot] {
+            self.pending_flow_flag[slot] = true;
+            self.pending_flows.push(slot as u32);
+        }
+    }
+
+    /// Records that a link's effective capacity moved: advances the
+    /// capacity epoch, appends to the change log (resetting it when
+    /// full), and queues the link for this tick's delta diff scan and
+    /// utilization refresh.
+    fn log_cap_change(&mut self, l: usize) {
+        self.cap_epoch += 1;
+        if self.cap_log.len() >= CAP_LOG_LIMIT {
+            self.cap_log.clear();
+            self.cap_log_floor = self.cap_epoch - 1;
+        }
+        self.cap_log.push((self.cap_epoch, l as u32));
+        self.cap_changed.push(l as u32);
+        self.touch_link(l);
+    }
+
+    /// Rebuilds the upcoming trace change-point heap from scratch: one
+    /// entry per live (unfrozen) traced link, holding its earliest
+    /// change strictly after `now`.
+    fn rebuild_trace_heap(&mut self) {
+        self.trace_heap.clear();
+        for (i, lc) in self.link_caps.iter().enumerate() {
+            if self.trace_freeze.contains_key(&LinkId(i)) {
+                continue;
+            }
+            if let CapacitySource::Trace(trace) = lc.source() {
+                if let Some(t) = trace.next_change_after(self.now) {
+                    self.trace_heap.push(std::cmp::Reverse((t, i as u32)));
+                }
+            }
+        }
+        self.trace_heap_valid = true;
+    }
+
+    /// Full capacity refresh: re-reads every link's effective capacity
+    /// and every egress cap into the persistent index, logging each
+    /// capacity that moved (the delta diff scan and the controller's
+    /// score cache consume the log). Used when dirty tracking is off or
+    /// its bookkeeping was invalidated; re-arms the dirty-set state.
     fn refresh_constraint_caps(&mut self, link_count: usize) {
+        self.cap_changed.clear();
         self.link_cap_bps.resize(link_count, 0.0);
         for i in 0..link_count {
-            let cap = self.effective_link_capacity(LinkId(i));
-            self.link_cap_bps[i] = cap.as_bps();
+            let bps = self.effective_link_capacity(LinkId(i)).as_bps();
+            if bps.to_bits() != self.link_cap_bps[i].to_bits() {
+                self.link_cap_bps[i] = bps;
+                self.log_cap_change(i);
+            }
         }
         let AllocIndex { constraints, egress_nodes, .. } = &mut self.index;
         for (c, &bps) in constraints.iter_mut().zip(&self.link_cap_bps) {
@@ -984,12 +1473,104 @@ impl Mesh {
         for (k, node) in egress_nodes.iter().enumerate() {
             constraints[link_count + k].capacity = self.egress_caps[node];
         }
+        // The full pass covered every link: drain the per-link dirty set
+        // and re-arm the trace heap so the next tick can go O(dirty).
+        for k in 0..self.dirty_links.len() {
+            let l = self.dirty_links[k] as usize;
+            if let Some(fl) = self.link_dirty.get_mut(l) {
+                *fl = false;
+            }
+        }
+        self.dirty_links.clear();
+        if self.dirty_tracking {
+            self.rebuild_trace_heap();
+            self.caps_valid = true;
+        } else {
+            self.caps_valid = false;
+        }
+    }
+
+    /// O(dirty) capacity refresh: pops due trace change-points off the
+    /// heap into the dirty-link set, then re-reads only the dirty
+    /// links. Only sound while `caps_valid` — every link outside the
+    /// dirty set has a bitwise-current cached capacity.
+    fn refresh_constraint_caps_dirty(&mut self) {
+        self.cap_changed.clear();
+        if !self.trace_heap_valid {
+            self.rebuild_trace_heap();
+        }
+        while let Some(&std::cmp::Reverse((t, l))) = self.trace_heap.peek() {
+            if t > self.now {
+                break;
+            }
+            self.trace_heap.pop();
+            self.mark_link_capacity_dirty(LinkId(l as usize));
+            if let CapacitySource::Trace(trace) = self.link_caps[l as usize].source() {
+                if let Some(nt) = trace.next_change_after(self.now) {
+                    self.trace_heap.push(std::cmp::Reverse((nt, l)));
+                }
+            }
+        }
+        for k in 0..self.dirty_links.len() {
+            let l = self.dirty_links[k] as usize;
+            self.link_dirty[l] = false;
+            let bps = self.effective_link_capacity(LinkId(l)).as_bps();
+            if bps.to_bits() != self.link_cap_bps[l].to_bits() {
+                self.link_cap_bps[l] = bps;
+                self.index.constraints[l].capacity = Bandwidth::from_bps(bps);
+                self.log_cap_change(l);
+            }
+        }
+        self.dirty_links.clear();
+    }
+
+    /// Refreshes `demands_scratch`. Returns `true` when only the dirty
+    /// slots were rewritten — so `dirty_flows` is an exhaustive list of
+    /// every slot that can have moved — and `false` after a full
+    /// rewrite. Either way the dirty-flow set is left intact for the
+    /// delta diff scan; the caller clears it via
+    /// [`clear_dirty_flows`](Self::clear_dirty_flows).
+    fn refresh_demands(&mut self) -> bool {
+        let n = self.index.ids.len();
+        if self.dirty_tracking
+            && self.demands_valid
+            && self.demands_scratch.len() == n
+            && self.flow_dirty.len() == n
+        {
+            for k in 0..self.dirty_flows.len() {
+                let slot = self.dirty_flows[k] as usize;
+                let f = &self.flows[&self.index.ids[slot]];
+                self.demands_scratch[slot] = Self::transmit_demand(f);
+            }
+            return true;
+        }
+        self.demands_scratch.clear();
+        for f in self.flows.values() {
+            self.demands_scratch.push(Self::transmit_demand(f));
+        }
+        self.dirty_flows.clear();
+        self.flow_dirty.clear();
+        self.flow_dirty.resize(n, false);
+        self.demands_valid = self.dirty_tracking;
+        false
+    }
+
+    /// Clears the dirty-flow set (flags and list).
+    fn clear_dirty_flows(&mut self) {
+        for k in 0..self.dirty_flows.len() {
+            let s = self.dirty_flows[k] as usize;
+            if let Some(fl) = self.flow_dirty.get_mut(s) {
+                *fl = false;
+            }
+        }
+        self.dirty_flows.clear();
     }
 
     /// Recomputes the per-link and per-node-egress usage views from
     /// `rates_bps`. Each link's members are in ascending flow order, so
     /// the float accumulation order matches the dense path's flow-major
-    /// loop exactly.
+    /// loop exactly. A full rewrite can move any utilization, so the
+    /// next queue pass runs in full.
     fn update_usage_views(&mut self, link_count: usize) {
         self.link_used_bps.resize(link_count, 0.0);
         self.link_used_bps.fill(0.0);
@@ -998,14 +1579,99 @@ impl Mesh {
                 self.link_used_bps[ci] += self.rates_bps[m];
             }
         }
-        let max_node = self.topo.nodes().map(|n| n.0 as usize + 1).max().unwrap_or(0);
-        self.egress_used_bps.resize(max_node, 0.0);
+        self.egress_used_bps.resize(self.max_node, 0.0);
         self.egress_used_bps.fill(0.0);
         for (i, f) in self.flows.values().enumerate() {
             for &node in &f.egress {
                 self.egress_used_bps[node.0 as usize] += self.rates_bps[i];
             }
         }
+        self.pending_full = true;
+    }
+
+    /// O(dirty) usage-view update: re-sums the links of every dirty
+    /// component and the egress of every node their flows touch, in the
+    /// same ascending-member order as the full pass. Re-summing (rather
+    /// than applying signed deltas) keeps every view bit-identical to a
+    /// full recompute, which the periodic drift audit asserts.
+    fn update_usage_views_delta(&mut self, link_count: usize) {
+        for k in 0..self.dirty_comps.len() {
+            let comp = self.dirty_comps[k];
+            for &ci in self.index.comps.constraints_of(comp) {
+                if ci >= link_count {
+                    continue; // egress constraints have no usage view
+                }
+                let mut sum = 0.0;
+                for &m in &self.index.constraints[ci].members {
+                    sum += self.rates_bps[m];
+                }
+                self.link_used_bps[ci] = sum;
+                if !self.pending_link_flag[ci] {
+                    self.pending_link_flag[ci] = true;
+                    self.pending_links.push(ci as u32);
+                }
+            }
+            for &i in self.index.comps.flows_of(comp) {
+                let s = self.index.flow_egr_off[i];
+                let e = self.index.flow_egr_off[i + 1];
+                for &node in &self.index.flow_egr[s..e] {
+                    let n = node as usize;
+                    if !self.node_flag[n] {
+                        self.node_flag[n] = true;
+                        self.touched_nodes.push(node);
+                    }
+                }
+            }
+        }
+        for k in 0..self.touched_nodes.len() {
+            let n = self.touched_nodes[k] as usize;
+            self.node_flag[n] = false;
+            let s = self.index.egr_members_off[n];
+            let e = self.index.egr_members_off[n + 1];
+            let mut sum = 0.0;
+            for &m in &self.index.egr_members[s..e] {
+                sum += self.rates_bps[m];
+            }
+            self.egress_used_bps[n] = sum;
+        }
+        self.touched_nodes.clear();
+    }
+
+    /// Recomputes both usage views from scratch and compares bitwise
+    /// against the incrementally maintained ones. On any divergence the
+    /// recomputed views are installed, the rebuild counter bumps, and
+    /// the next queue pass runs in full. Returns whether drift was
+    /// found (asserted never in the unit tests of the maintained path).
+    fn audit_usage_views(&mut self, link_count: usize) -> bool {
+        let mut links = vec![0.0; link_count];
+        for (ci, c) in self.index.constraints[..link_count].iter().enumerate() {
+            for &m in &c.members {
+                links[ci] += self.rates_bps[m];
+            }
+        }
+        let mut egress = vec![0.0; self.max_node];
+        for (i, f) in self.flows.values().enumerate() {
+            for &node in &f.egress {
+                egress[node.0 as usize] += self.rates_bps[i];
+            }
+        }
+        let drift = links.len() != self.link_used_bps.len()
+            || egress.len() != self.egress_used_bps.len()
+            || links
+                .iter()
+                .zip(&self.link_used_bps)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+            || egress
+                .iter()
+                .zip(&self.egress_used_bps)
+                .any(|(a, b)| a.to_bits() != b.to_bits());
+        if drift {
+            self.link_used_bps = links;
+            self.egress_used_bps = egress;
+            self.usage_view_rebuilds += 1;
+            self.pending_full = true;
+        }
+        drift
     }
 
     /// The steady-state hot path: refresh constraint capacities in
@@ -1016,15 +1682,26 @@ impl Mesh {
         let mut clock = bass_obs::PhaseClock::new(profiler.is_some());
         let link_count = self.topo.link_count();
         if self.index.dirty {
-            self.index.rebuild(link_count, &self.flows, &self.egress_caps);
+            self.index.rebuild(link_count, &self.flows, &self.egress_caps, self.max_node);
             self.delta_valid = false;
+            self.caps_valid = false;
+            self.demands_valid = false;
+            self.pending_full = true;
             clock.lap(profiler.as_deref_mut(), "mesh.index_rebuild");
         }
 
-        self.refresh_constraint_caps(link_count);
-        clock.lap(profiler.as_deref_mut(), "mesh.trace_refresh");
+        if self.dirty_tracking && self.caps_valid && self.link_cap_bps.len() == link_count {
+            self.refresh_constraint_caps_dirty();
+            clock.lap(profiler.as_deref_mut(), "mesh.cap_diff");
+        } else {
+            self.refresh_constraint_caps(link_count);
+            clock.lap(profiler.as_deref_mut(), "mesh.trace_refresh");
+        }
 
-        self.fill_demands();
+        if self.refresh_demands() {
+            clock.lap(profiler.as_deref_mut(), "mesh.demand_diff");
+        }
+        self.clear_dirty_flows();
         max_min_allocate_into(
             &self.demands_scratch,
             &self.index.constraints,
@@ -1050,15 +1727,28 @@ impl Mesh {
         let mut clock = bass_obs::PhaseClock::new(profiler.is_some());
         let link_count = self.topo.link_count();
         if self.index.dirty {
-            self.index.rebuild(link_count, &self.flows, &self.egress_caps);
+            self.index.rebuild(link_count, &self.flows, &self.egress_caps, self.max_node);
             self.delta_valid = false;
+            self.caps_valid = false;
+            self.demands_valid = false;
+            self.pending_full = true;
             clock.lap(profiler.as_deref_mut(), "mesh.index_rebuild");
         }
 
-        self.refresh_constraint_caps(link_count);
-        clock.lap(profiler.as_deref_mut(), "mesh.trace_refresh");
+        let caps_partial =
+            self.dirty_tracking && self.caps_valid && self.link_cap_bps.len() == link_count;
+        if caps_partial {
+            self.refresh_constraint_caps_dirty();
+            clock.lap(profiler.as_deref_mut(), "mesh.cap_diff");
+        } else {
+            self.refresh_constraint_caps(link_count);
+            clock.lap(profiler.as_deref_mut(), "mesh.trace_refresh");
+        }
 
-        self.fill_demands();
+        let demands_partial = self.refresh_demands();
+        if demands_partial {
+            clock.lap(profiler.as_deref_mut(), "mesh.demand_diff");
+        }
         if !self.delta_valid {
             // Full canonical fill, then baseline the snapshots.
             max_min_allocate_components(
@@ -1077,14 +1767,39 @@ impl Mesh {
             self.prev_demands_bps
                 .extend(self.demands_scratch.iter().map(|d| d.as_bps()));
             self.delta_valid = true;
+            self.clear_dirty_flows();
             clock.lap(profiler.as_deref_mut(), "mesh.delta_fill");
+            self.allocation.assign(&self.index.ids, &self.rates_bps);
+            self.update_usage_views(link_count);
+            clock.lap(profiler, "mesh.usage_views");
+            return;
+        }
+
+        // Dirty-component scan: a constraint whose capacity moved or a
+        // flow whose demand moved (backlog drain included) dirties its
+        // component. Unconstrained flows are re-granted directly. With
+        // the dirty sets live the scan touches only the links the
+        // capacity refresh observed moving and the flows in the dirty
+        // demand set — O(dirty), not O(F + L).
+        self.comp_dirty.clear();
+        self.comp_dirty.resize(self.index.comps.component_count(), false);
+        self.dirty_comps.clear();
+        if caps_partial {
+            for k in 0..self.cap_changed.len() {
+                let ci = self.cap_changed[k] as usize;
+                let bps = self.index.constraints[ci].capacity.as_bps();
+                if bps.to_bits() != self.prev_caps_bps[ci].to_bits() {
+                    self.prev_caps_bps[ci] = bps;
+                    if !self.index.constraints[ci].members.is_empty() {
+                        let comp = self.index.comps.constraint_component(ci);
+                        if !self.comp_dirty[comp as usize] {
+                            self.comp_dirty[comp as usize] = true;
+                            self.dirty_comps.push(comp);
+                        }
+                    }
+                }
+            }
         } else {
-            // Dirty-component scan: a constraint whose capacity moved or
-            // a flow whose demand moved (backlog drain included) dirties
-            // its component. Unconstrained flows are re-granted directly.
-            self.comp_dirty.clear();
-            self.comp_dirty.resize(self.index.comps.component_count(), false);
-            self.dirty_comps.clear();
             for (ci, c) in self.index.constraints.iter().enumerate() {
                 let bps = c.capacity.as_bps();
                 if bps.to_bits() != self.prev_caps_bps[ci].to_bits() {
@@ -1098,6 +1813,24 @@ impl Mesh {
                     }
                 }
             }
+        }
+        if demands_partial {
+            for k in 0..self.dirty_flows.len() {
+                let i = self.dirty_flows[k] as usize;
+                let bps = self.demands_scratch[i].as_bps();
+                if bps.to_bits() != self.prev_demands_bps[i].to_bits() {
+                    self.prev_demands_bps[i] = bps;
+                    let comp = self.index.comps.flow_component(i);
+                    if comp == NO_COMPONENT {
+                        self.rates_bps[i] = unconstrained_rate(self.demands_scratch[i]);
+                        self.touch_flow(i);
+                    } else if !self.comp_dirty[comp as usize] {
+                        self.comp_dirty[comp as usize] = true;
+                        self.dirty_comps.push(comp);
+                    }
+                }
+            }
+        } else {
             for (i, d) in self.demands_scratch.iter().enumerate() {
                 let bps = d.as_bps();
                 if bps.to_bits() != self.prev_demands_bps[i].to_bits() {
@@ -1105,37 +1838,89 @@ impl Mesh {
                     let comp = self.index.comps.flow_component(i);
                     if comp == NO_COMPONENT {
                         self.rates_bps[i] = unconstrained_rate(*d);
+                        if i < self.pending_flow_flag.len() {
+                            if !self.pending_flow_flag[i] {
+                                self.pending_flow_flag[i] = true;
+                                self.pending_flows.push(i as u32);
+                            }
+                        } else {
+                            self.pending_full = true;
+                        }
                     } else if !self.comp_dirty[comp as usize] {
                         self.comp_dirty[comp as usize] = true;
                         self.dirty_comps.push(comp);
                     }
                 }
             }
-            clock.lap(profiler.as_deref_mut(), "mesh.component_scan");
-
-            if self.alloc_jobs > 1 && self.dirty_comps.len() > 1 {
-                self.shard_fill();
-                clock.lap(profiler.as_deref_mut(), "mesh.shard_fill");
-            } else {
-                for k in 0..self.dirty_comps.len() {
-                    refill_component_into(
-                        self.dirty_comps[k],
-                        &self.demands_scratch,
-                        &self.index.constraints,
-                        &self.index.flow_cons_off,
-                        &self.index.flow_cons,
-                        &self.index.comps,
-                        &mut self.scratch,
-                        &mut self.rates_bps,
-                    );
-                }
-                clock.lap(profiler.as_deref_mut(), "mesh.delta_fill");
-            }
         }
-        self.allocation.assign(&self.index.ids, &self.rates_bps);
+        self.clear_dirty_flows();
+        clock.lap(profiler.as_deref_mut(), "mesh.component_scan");
 
-        self.update_usage_views(link_count);
-        clock.lap(profiler, "mesh.usage_views");
+        if self.alloc_jobs > 1 && self.dirty_comps.len() > 1 {
+            self.shard_fill();
+            clock.lap(profiler.as_deref_mut(), "mesh.shard_fill");
+        } else {
+            for k in 0..self.dirty_comps.len() {
+                refill_component_into(
+                    self.dirty_comps[k],
+                    &self.demands_scratch,
+                    &self.index.constraints,
+                    &self.index.flow_cons_off,
+                    &self.index.flow_cons,
+                    &self.index.comps,
+                    &mut self.scratch,
+                    &mut self.rates_bps,
+                );
+            }
+            clock.lap(profiler.as_deref_mut(), "mesh.delta_fill");
+        }
+
+        let n = self.index.ids.len();
+        // The partial tail (per-slot allocation writes, per-member usage
+        // re-sums, O(dirty) queue pass) only pays off while the dirty
+        // slice is a minority of the mesh: each partial slot costs a map
+        // lookup where the full pass pays an in-order walk. Past roughly
+        // a quarter of the flows the straight full tail is cheaper, so
+        // take it — both tails produce bit-identical state by
+        // construction, this is purely a cost dispatch.
+        let refilled: usize = (0..self.dirty_comps.len())
+            .map(|k| self.index.comps.flows_of(self.dirty_comps[k]).len())
+            .sum();
+        let minority = (self.pending_flows.len() + refilled) * 4 < n;
+        if self.dirty_tracking
+            && !self.pending_full
+            && minority
+            && self.pending_flow_flag.len() == n
+            && self.allocation.len() == n
+        {
+            // Queue every refilled flow for activity re-evaluation; the
+            // same list drives the O(dirty) allocation-map write.
+            for k in 0..self.dirty_comps.len() {
+                let comp = self.dirty_comps[k];
+                for &i in self.index.comps.flows_of(comp) {
+                    if !self.pending_flow_flag[i] {
+                        self.pending_flow_flag[i] = true;
+                        self.pending_flows.push(i as u32);
+                    }
+                }
+            }
+            self.allocation
+                .write_slots(&self.index.ids, &self.rates_bps, &self.pending_flows);
+            self.update_usage_views_delta(link_count);
+            if self.usage_check_every > 0 {
+                self.usage_ticks += 1;
+                if self.usage_ticks >= self.usage_check_every {
+                    self.usage_ticks = 0;
+                    self.audit_usage_views(link_count);
+                }
+            }
+            clock.lap(profiler, "mesh.usage_delta");
+        } else {
+            self.pending_full = true;
+            self.allocation.assign(&self.index.ids, &self.rates_bps);
+            self.update_usage_views(link_count);
+            clock.lap(profiler, "mesh.usage_views");
+        }
     }
 
     /// Fans this tick's dirty components out across the persistent
@@ -1220,7 +2005,18 @@ impl Mesh {
         // One constraint per link.
         for (lid, _) in self.topo.links() {
             let capacity = self.effective_link_capacity(lid);
-            self.link_cap_bps[lid.0] = capacity.as_bps();
+            let bps = capacity.as_bps();
+            if bps.to_bits() != self.link_cap_bps[lid.0].to_bits() {
+                // Keep the capacity-change log live under the reference
+                // engine too (the controller's score cache reads it).
+                self.link_cap_bps[lid.0] = bps;
+                self.cap_epoch += 1;
+                if self.cap_log.len() >= CAP_LOG_LIMIT {
+                    self.cap_log.clear();
+                    self.cap_log_floor = self.cap_epoch - 1;
+                }
+                self.cap_log.push((self.cap_epoch, lid.0 as u32));
+            }
             let members: Vec<usize> = ids
                 .iter()
                 .enumerate()
@@ -1248,8 +2044,7 @@ impl Mesh {
 
         // Per-link and per-node-egress usage for monitoring.
         self.link_used_bps = vec![0.0; self.topo.link_count()];
-        let max_node = self.topo.nodes().map(|n| n.0 as usize + 1).max().unwrap_or(0);
-        self.egress_used_bps = vec![0.0; max_node];
+        self.egress_used_bps = vec![0.0; self.max_node];
         for (i, id) in ids.iter().enumerate() {
             for lid in &self.flows[id].links {
                 self.link_used_bps[lid.0] += rates[i].as_bps();
@@ -1259,6 +2054,12 @@ impl Mesh {
             }
         }
         self.allocation = allocation;
+        // The reference path maintains none of the dirty-set
+        // bookkeeping: invalidate it all so a later engine switch starts
+        // from full refreshes.
+        self.caps_valid = false;
+        self.demands_valid = false;
+        self.pending_full = true;
     }
 
     /// [`advance`](Self::advance) that additionally reports to a journal:
@@ -2324,5 +3125,57 @@ mod tests {
             ticked.flow_rate(f).as_bps().to_bits(),
             skipped.flow_rate(f).as_bps().to_bits()
         );
+    }
+
+    #[test]
+    fn usage_audit_detects_and_repairs_injected_drift() {
+        let mut mesh = three_node_lan();
+        mesh.set_alloc_engine(AllocEngine::Delta);
+        mesh.add_flow(NodeId(0), NodeId(1), mbps(30.0)).unwrap();
+        mesh.add_flow(NodeId(1), NodeId(2), mbps(20.0)).unwrap();
+        let step = SimDuration::from_millis(100);
+        mesh.advance(step);
+        let link_count = mesh.topo.link_count();
+        // The maintained views are clean after a normal tick.
+        assert!(!mesh.audit_usage_views(link_count));
+        assert_eq!(mesh.usage_view_rebuilds(), 0);
+        // Inject drift into both views; the audit must detect it,
+        // install the recomputed truth, bump the rebuild counter, and
+        // force the next queue pass to run in full.
+        mesh.link_used_bps[0] += 123.0;
+        mesh.egress_used_bps[1] -= 7.0;
+        assert!(mesh.audit_usage_views(link_count));
+        assert_eq!(mesh.usage_view_rebuilds(), 1);
+        assert!(mesh.pending_full);
+        // Repaired: a second audit is clean and the counter holds.
+        assert!(!mesh.audit_usage_views(link_count));
+        assert_eq!(mesh.usage_view_rebuilds(), 1);
+    }
+
+    #[test]
+    fn periodic_usage_audit_repairs_drift_on_schedule() {
+        let mut mesh = three_node_lan();
+        mesh.set_alloc_engine(AllocEngine::Delta);
+        let f = mesh.add_flow(NodeId(0), NodeId(1), mbps(30.0)).unwrap();
+        mesh.set_usage_check_every(1);
+        let step = SimDuration::from_millis(100);
+        mesh.advance(step);
+        mesh.advance(step);
+        assert_eq!(mesh.usage_view_rebuilds(), 0, "clean runs never rebuild");
+        // Corrupt the maintained link view: the next audited tick must
+        // repair it and keep allocations unaffected.
+        mesh.link_used_bps[0] += 1e6;
+        for _ in 0..3 {
+            mesh.advance(step);
+        }
+        assert_eq!(mesh.usage_view_rebuilds(), 1);
+        assert_eq!(mesh.flow_rate(f).as_bps().to_bits(), mbps(30.0).as_bps().to_bits());
+        // Disabled audits leave corruption alone (and never rebuild).
+        mesh.set_usage_check_every(0);
+        mesh.link_used_bps[0] += 1e6;
+        for _ in 0..3 {
+            mesh.advance(step);
+        }
+        assert_eq!(mesh.usage_view_rebuilds(), 1);
     }
 }

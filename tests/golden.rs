@@ -57,6 +57,7 @@ fn run_scenario_in(step_mode: StepMode) -> String {
             cooldown: SimDuration::from_secs(30),
             full_probe_on_headroom_drop: true,
             best_effort_targets: true,
+            verify_score_cache: false,
         },
         netmon: NetMonitorConfig {
             headroom_fraction: 0.2,
