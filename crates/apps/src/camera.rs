@@ -132,11 +132,11 @@ mod tests {
     use crate::testbeds::lan_testbed;
     use bass_appdag::catalog;
     use bass_core::heuristics::BfsWeighting;
-    use bass_core::SchedulerPolicy;
+    use bass_core::PlacementPolicy;
     use bass_emu::SimEnvConfig;
     use bass_util::units::Bandwidth;
 
-    fn env(policy: SchedulerPolicy) -> SimEnv {
+    fn env(policy: PlacementPolicy) -> SimEnv {
         let (mesh, cluster) = lan_testbed(3, 12);
         let cfg = SimEnvConfig { policy, ..Default::default() };
         let mut env = SimEnv::new(mesh, cluster, catalog::camera_pipeline(), cfg);
@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn healthy_lan_latency_matches_fig10_ballpark() {
-        let mut env = env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        let mut env = env(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
         let wl = CameraWorkload::new(&env.dag().clone(), CameraCalibration::default());
         let mut rec = Recorder::new();
         env.run_for(SimDuration::from_secs(10), |e| {
@@ -165,9 +165,9 @@ mod tests {
         // BFS ≤ LP < k3s in crossing bandwidth → same order in latency.
         let mut results = Vec::new();
         for policy in [
-            SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
-            SchedulerPolicy::LongestPath,
-            SchedulerPolicy::K3sDefault(bass_cluster::BaselinePolicy::LeastAllocated),
+            PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            PlacementPolicy::LongestPath,
+            PlacementPolicy::K3sDefault(bass_cluster::BaselinePolicy::LeastAllocated),
         ] {
             let mut e = env(policy);
             let wl = CameraWorkload::new(&e.dag().clone(), CameraCalibration::default());
@@ -186,7 +186,7 @@ mod tests {
         // baseline of Figs. 12/13).
         let (mesh, cluster) = lan_testbed(3, 12);
         let cfg = SimEnvConfig {
-            policy: SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            policy: PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
             migrations_enabled: false,
             ..Default::default()
         };
@@ -212,7 +212,7 @@ mod tests {
 
     #[test]
     fn label_branch_is_faster_than_image_branch() {
-        let e = env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        let e = env(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
         let wl = CameraWorkload::new(&e.dag().clone(), CameraCalibration::default());
         assert!(wl.label_latency(&e) <= wl.frame_latency(&e));
     }

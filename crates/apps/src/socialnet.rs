@@ -246,13 +246,13 @@ mod tests {
     use super::*;
     use crate::testbeds::lan_testbed;
     use bass_appdag::catalog;
-    use bass_core::SchedulerPolicy;
+    use bass_core::PlacementPolicy;
     use bass_emu::{Scenario, SimEnvConfig};
     use bass_mesh::NodeId;
     use bass_util::time::SimTime;
     use bass_util::units::Bandwidth;
 
-    fn social_env(rps: f64, policy: SchedulerPolicy, migrations: bool) -> SimEnv {
+    fn social_env(rps: f64, policy: PlacementPolicy, migrations: bool) -> SimEnv {
         let (mesh, cluster) = lan_testbed(4, 4);
         let cfg = SimEnvConfig {
             policy,
@@ -266,7 +266,7 @@ mod tests {
 
     #[test]
     fn healthy_latency_in_expected_range() {
-        let mut env = social_env(50.0, SchedulerPolicy::LongestPath, true);
+        let mut env = social_env(50.0, PlacementPolicy::LongestPath, true);
         let mut wl = SocialNetWorkload::new(
             &env.dag().clone(),
             50.0,
@@ -283,7 +283,7 @@ mod tests {
 
     #[test]
     fn compose_post_is_the_slowest_type() {
-        let env = social_env(50.0, SchedulerPolicy::LongestPath, true);
+        let env = social_env(50.0, PlacementPolicy::LongestPath, true);
         let wl = SocialNetWorkload::new(&env.dag().clone(), 50.0, ArrivalProcess::Constant, 1);
         let compose = wl.request_latency(&env, "compose-post");
         let read_home = wl.request_latency(&env, "read-home-timeline");
@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn restriction_inflates_latency_by_an_order_of_magnitude() {
         // Fig. 5: 400 RPS, 25 Mbps squeeze on the frontend's node.
-        let mut env = social_env(400.0, SchedulerPolicy::K3sDefault(Default::default()), false);
+        let mut env = social_env(400.0, PlacementPolicy::K3sDefault(Default::default()), false);
         let dag = env.dag().clone();
         let nginx = dag.component_by_name("nginx-frontend").unwrap().id;
         let nginx_node = env.placement()[&nginx];
@@ -322,7 +322,7 @@ mod tests {
 
     #[test]
     fn exponential_arrivals_fluctuate() {
-        let mut env = social_env(50.0, SchedulerPolicy::LongestPath, true);
+        let mut env = social_env(50.0, PlacementPolicy::LongestPath, true);
         let mut wl = SocialNetWorkload::new(
             &env.dag().clone(),
             50.0,
@@ -339,7 +339,7 @@ mod tests {
 
     #[test]
     fn per_type_batches_recorded() {
-        let mut env = social_env(50.0, SchedulerPolicy::LongestPath, true);
+        let mut env = social_env(50.0, PlacementPolicy::LongestPath, true);
         let mut wl =
             SocialNetWorkload::new(&env.dag().clone(), 50.0, ArrivalProcess::Constant, 1);
         let mut rec = Recorder::new();
@@ -353,7 +353,7 @@ mod tests {
 
     #[test]
     fn jitter_spreads_samples_without_moving_the_mean_much() {
-        let mut env = social_env(50.0, SchedulerPolicy::LongestPath, true);
+        let mut env = social_env(50.0, PlacementPolicy::LongestPath, true);
         let dag = env.dag().clone();
         let mut clean = SocialNetWorkload::new(&dag, 50.0, ArrivalProcess::Constant, 3);
         let mut noisy =
@@ -410,7 +410,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown request type")]
     fn unknown_type_panics() {
-        let env = social_env(50.0, SchedulerPolicy::LongestPath, true);
+        let env = social_env(50.0, PlacementPolicy::LongestPath, true);
         let wl = SocialNetWorkload::new(&env.dag().clone(), 50.0, ArrivalProcess::Constant, 1);
         let _ = wl.request_latency(&env, "nonsense");
     }

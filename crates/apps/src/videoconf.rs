@@ -184,7 +184,7 @@ impl VideoConfWorkload {
 mod tests {
     use super::*;
     use crate::testbeds::lan_testbed;
-    use bass_core::SchedulerPolicy;
+    use bass_core::PlacementPolicy;
     use bass_emu::{Scenario, SimEnvConfig};
     use bass_util::time::{SimDuration, SimTime};
 
@@ -210,7 +210,7 @@ mod tests {
         ])
         .unwrap();
         let env_cfg = SimEnvConfig {
-            policy: SchedulerPolicy::LongestPath,
+            policy: PlacementPolicy::LongestPath,
             pinned,
             migrations_enabled: migrations,
             ..Default::default()

@@ -5,7 +5,7 @@ use bass_appdag::catalog;
 use bass_apps::testbeds::lan_testbed;
 use bass_cluster::BaselinePolicy;
 use bass_core::heuristics::BfsWeighting;
-use bass_core::{BassScheduler, SchedulerPolicy};
+use bass_core::{BassScheduler, PlacementPolicy};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
@@ -25,9 +25,9 @@ fn bench_scheduling(c: &mut Criterion) {
         ("camera", catalog::camera_pipeline()),
     ] {
         for (name, policy) in [
-            ("k3s", SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated)),
-            ("bass-lp", SchedulerPolicy::LongestPath),
-            ("bass-bfs", SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
+            ("k3s", PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated)),
+            ("bass-lp", PlacementPolicy::LongestPath),
+            ("bass-bfs", PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
         ] {
             group.bench_function(format!("{app}/{name}"), |b| {
                 b.iter(|| {

@@ -14,23 +14,23 @@ use bass_apps::testbeds::lan_testbed;
 use bass_cluster::BaselinePolicy;
 use bass_core::heuristics::BfsWeighting;
 use bass_core::placement::crossing_bandwidth;
-use bass_core::{BassScheduler, SchedulerPolicy};
+use bass_core::{BassScheduler, PlacementPolicy};
 
-const POLICIES: &[(&str, SchedulerPolicy)] = &[
-    ("bfs-edge", SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
+const POLICIES: &[(&str, PlacementPolicy)] = &[
+    ("bfs-edge", PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
     (
         "bfs-cumulative",
-        SchedulerPolicy::BreadthFirst(BfsWeighting::CumulativePath),
+        PlacementPolicy::BreadthFirst(BfsWeighting::CumulativePath),
     ),
-    ("longest-path", SchedulerPolicy::LongestPath),
-    ("hybrid", SchedulerPolicy::Hybrid { fanout_threshold: 3 }),
+    ("longest-path", PlacementPolicy::LongestPath),
+    ("hybrid", PlacementPolicy::Hybrid { fanout_threshold: 3 }),
     (
         "k3s-default",
-        SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
+        PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
     ),
 ];
 
-fn crossing_fraction(dag: &AppDag, policy: SchedulerPolicy, nodes: u32, cores: u64) -> Option<f64> {
+fn crossing_fraction(dag: &AppDag, policy: PlacementPolicy, nodes: u32, cores: u64) -> Option<f64> {
     let (mesh, mut cluster) = lan_testbed(nodes, cores);
     let placement = BassScheduler::new(policy)
         .schedule(dag, &mut cluster, &mesh)

@@ -6,7 +6,7 @@ use bass_apps::testbeds::{citylab_testbed, citylab_testbed_flat, lan_testbed};
 use bass_apps::{ArrivalProcess, SocialNetWorkload, VideoConfConfig, VideoConfWorkload};
 use bass_cluster::{Cluster, NodeSpec};
 use bass_core::migration::MigrationConfig;
-use bass_core::{ControllerConfig, SchedulerPolicy};
+use bass_core::{ControllerConfig, PlacementPolicy};
 use bass_emu::{SimEnv, SimEnvConfig};
 use bass_mesh::{Mesh, NodeId};
 use bass_netmon::NetMonitorConfig;
@@ -16,7 +16,7 @@ use bass_util::time::SimDuration;
 #[derive(Debug, Clone, Copy)]
 pub struct Knobs {
     /// Placement policy.
-    pub policy: SchedulerPolicy,
+    pub policy: PlacementPolicy,
     /// Dynamic migration on/off.
     pub migrations: bool,
     /// Headroom/goodput monitoring interval in seconds (paper: 30/60/90).
@@ -34,7 +34,7 @@ pub struct Knobs {
 impl Default for Knobs {
     fn default() -> Self {
         Knobs {
-            policy: SchedulerPolicy::LongestPath,
+            policy: PlacementPolicy::LongestPath,
             migrations: true,
             probe_interval_s: 30,
             goodput_threshold: 0.5,

@@ -10,7 +10,7 @@ use crate::{ExperimentReport, Row, RunMode};
 use bass_apps::camera::{CameraCalibration, CameraWorkload};
 use bass_cluster::BaselinePolicy;
 use bass_core::heuristics::BfsWeighting;
-use bass_core::SchedulerPolicy;
+use bass_core::PlacementPolicy;
 use bass_emu::Recorder;
 use bass_util::time::SimDuration;
 
@@ -24,9 +24,9 @@ pub fn run(mode: RunMode) -> ExperimentReport {
     let duration = SimDuration::from_secs(mode.secs(300));
 
     for (label, policy) in [
-        ("bfs", SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
-        ("longest-path", SchedulerPolicy::LongestPath),
-        ("k3s-default", SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated)),
+        ("bfs", PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
+        ("longest-path", PlacementPolicy::LongestPath),
+        ("k3s-default", PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated)),
     ] {
         let knobs = Knobs { policy, ..Knobs::default() };
         let mut env = camera_lan(3, 12, &knobs);

@@ -9,7 +9,7 @@ use crate::experiments::common::{social_lan, Knobs};
 use crate::{ExperimentReport, Row, RunMode};
 use bass_apps::ArrivalProcess;
 use bass_cluster::BaselinePolicy;
-use bass_core::SchedulerPolicy;
+use bass_core::PlacementPolicy;
 use bass_emu::Recorder;
 use bass_util::stats::StreamingStats;
 use bass_util::time::{SimDuration, SimTime};
@@ -31,10 +31,10 @@ pub fn run(mode: RunMode) -> ExperimentReport {
     for restricted in [false, true] {
         for rps in [100.0, 200.0, 300.0] {
             for (name, policy) in [
-                ("longest-path", SchedulerPolicy::LongestPath),
+                ("longest-path", PlacementPolicy::LongestPath),
                 (
                     "k3s-default",
-                    SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
+                    PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
                 ),
             ] {
                 let mut p99s = StreamingStats::new();

@@ -8,7 +8,7 @@
 use crate::experiments::common::{social_lan, Knobs};
 use crate::{ExperimentReport, Row, RunMode};
 use bass_apps::ArrivalProcess;
-use bass_core::SchedulerPolicy;
+use bass_core::PlacementPolicy;
 use bass_emu::{Recorder, Scenario};
 use bass_mesh::NodeId;
 use bass_util::time::{SimDuration, SimTime};
@@ -46,7 +46,7 @@ pub fn run_observed(
         ("no migration", 30, false),
     ] {
         let knobs = Knobs {
-            policy: SchedulerPolicy::LongestPath,
+            policy: PlacementPolicy::LongestPath,
             migrations,
             probe_interval_s: interval_s,
             cooldown_s: interval_s,

@@ -10,7 +10,7 @@ use crate::{ExperimentReport, Row, RunMode};
 use bass_apps::ArrivalProcess;
 use bass_cluster::BaselinePolicy;
 use bass_core::heuristics::BfsWeighting;
-use bass_core::SchedulerPolicy;
+use bass_core::PlacementPolicy;
 use bass_emu::Recorder;
 use bass_util::time::SimDuration;
 
@@ -28,18 +28,18 @@ pub fn run(mode: RunMode) -> ExperimentReport {
     for (label, policy, migrations) in [
         (
             "longest-path+mig",
-            SchedulerPolicy::LongestPath,
+            PlacementPolicy::LongestPath,
             true,
         ),
         (
             "bfs+mig",
-            SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
             true,
         ),
-        ("longest-path-nomig", SchedulerPolicy::LongestPath, false),
+        ("longest-path-nomig", PlacementPolicy::LongestPath, false),
         (
             "k3s-default",
-            SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
+            PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
             false,
         ),
     ] {

@@ -9,7 +9,7 @@ use crate::experiments::common::{social_citylab, Knobs};
 use crate::{ExperimentReport, Row, RunMode};
 use bass_apps::ArrivalProcess;
 use bass_core::heuristics::BfsWeighting;
-use bass_core::SchedulerPolicy;
+use bass_core::PlacementPolicy;
 use bass_emu::Recorder;
 use bass_util::time::SimDuration;
 
@@ -28,8 +28,8 @@ pub fn run(mode: RunMode) -> ExperimentReport {
     };
 
     for (sched, policy) in [
-        ("bfs", SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
-        ("longest-path", SchedulerPolicy::LongestPath),
+        ("bfs", PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
+        ("longest-path", PlacementPolicy::LongestPath),
     ] {
         for &headroom in &headrooms {
             for &threshold in &thresholds {

@@ -9,7 +9,7 @@
 use crate::experiments::common::{social_citylab, Knobs};
 use crate::{ExperimentReport, Row, RunMode};
 use bass_apps::ArrivalProcess;
-use bass_core::SchedulerPolicy;
+use bass_core::PlacementPolicy;
 use bass_emu::Recorder;
 use bass_util::time::SimDuration;
 
@@ -24,7 +24,7 @@ pub fn run(mode: RunMode) -> ExperimentReport {
 
     for threshold in [0.25, 0.50, 0.65, 0.75, 0.95] {
         let knobs = Knobs {
-            policy: SchedulerPolicy::LongestPath,
+            policy: PlacementPolicy::LongestPath,
             utilization_threshold: threshold,
             goodput_threshold: threshold.min(0.5),
             headroom: 0.20,

@@ -12,7 +12,7 @@ use crate::{ExperimentReport, Row, RunMode};
 use bass_appdag::{AppDag, Component, ComponentId, ResourceReq};
 use bass_cluster::{Cluster, NodeSpec};
 use bass_core::heuristics::BfsWeighting;
-use bass_core::SchedulerPolicy;
+use bass_core::PlacementPolicy;
 use bass_emu::{Recorder, Scenario, SimEnv, SimEnvConfig};
 use bass_mesh::{Mesh, NodeId, Topology};
 use bass_trace::citylab_topology_links;
@@ -84,7 +84,7 @@ pub fn run(mode: RunMode) -> ExperimentReport {
     .expect("unique");
 
     let mut cfg = SimEnvConfig {
-        policy: SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+        policy: PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
         ..Default::default()
     };
     cfg.pinned = [A].into_iter().collect();

@@ -8,7 +8,7 @@
 use crate::experiments::common::{social_lan, Knobs};
 use crate::{ExperimentReport, Row, RunMode};
 use bass_apps::ArrivalProcess;
-use bass_core::SchedulerPolicy;
+use bass_core::PlacementPolicy;
 use bass_emu::{Recorder, Scenario};
 use bass_mesh::NodeId;
 use bass_util::time::{SimDuration, SimTime};
@@ -22,7 +22,7 @@ pub fn run(mode: RunMode) -> ExperimentReport {
         "iteration 1: 6 violating → 2 migrated; iterations 2–3: 1 → 1 (never both ends of a pair)",
     );
     let knobs = Knobs {
-        policy: SchedulerPolicy::LongestPath,
+        policy: PlacementPolicy::LongestPath,
         probe_interval_s: 30,
         cooldown_s: 30,
         ..Knobs::default()

@@ -11,7 +11,7 @@ use crate::{ExperimentReport, Row, RunMode};
 use bass_apps::camera::{CameraCalibration, CameraWorkload};
 use bass_cluster::BaselinePolicy;
 use bass_core::heuristics::BfsWeighting;
-use bass_core::SchedulerPolicy;
+use bass_core::PlacementPolicy;
 use bass_emu::Recorder;
 use bass_util::time::SimDuration;
 
@@ -25,11 +25,11 @@ pub fn run(mode: RunMode) -> ExperimentReport {
     let duration = SimDuration::from_secs(mode.secs(1200));
 
     for (label, policy) in [
-        ("bfs", SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
-        ("longest-path", SchedulerPolicy::LongestPath),
+        ("bfs", PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
+        ("longest-path", PlacementPolicy::LongestPath),
         (
             "k3s-default",
-            SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
+            PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
         ),
     ] {
         let mut row = Row::new(label);
@@ -38,7 +38,7 @@ pub fn run(mode: RunMode) -> ExperimentReport {
                 policy,
                 // k3s performs no dynamic migration; BASS has it enabled
                 // but the paper observed none for this workload.
-                migrations: !matches!(policy, SchedulerPolicy::K3sDefault(_)),
+                migrations: !matches!(policy, PlacementPolicy::K3sDefault(_)),
                 ..Knobs::default()
             };
             let mut env = camera_citylab(&knobs, 42, duration + SimDuration::from_secs(60), flat);

@@ -9,10 +9,10 @@ use crate::{ExperimentReport, Row, RunMode};
 use bass_appdag::{catalog, AppDag};
 use bass_apps::testbeds::lan_testbed;
 use bass_cluster::BaselinePolicy;
-use bass_core::{BassScheduler, SchedulerPolicy};
+use bass_core::{BassScheduler, PlacementPolicy};
 use std::time::Instant;
 
-fn per_component_ms(dag: &AppDag, policy: SchedulerPolicy, iters: u32) -> (f64, f64) {
+fn per_component_ms(dag: &AppDag, policy: PlacementPolicy, iters: u32) -> (f64, f64) {
     let mut samples = Vec::with_capacity(iters as usize);
     for _ in 0..iters {
         let (mesh, mut cluster) = lan_testbed(4, 16);
@@ -48,10 +48,10 @@ pub fn run(mode: RunMode) -> ExperimentReport {
     ] {
         let (k3s_mean, k3s_std) = per_component_ms(
             &dag,
-            SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
+            PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
             iters,
         );
-        let (bass_mean, bass_std) = per_component_ms(&dag, SchedulerPolicy::LongestPath, iters);
+        let (bass_mean, bass_std) = per_component_ms(&dag, PlacementPolicy::LongestPath, iters);
         report.push_row(
             Row::new(label)
                 .with("k3s_ms", k3s_mean)

@@ -15,9 +15,19 @@
 //!                  [--step-mode ticked|event-driven] [--journal events.jsonl]
 //!                  [--metrics-out metrics.prom] [--profile]
 //!                  [--progress[=off|info|debug]]
+//! bassctl arena    --spec scenario.json [--spec more.json …] [--policy bass,random,…]
+//!                  [--seed N] [--jobs N] [--engine …] [--alloc-jobs N]
+//!                  [--step-mode …] [--out table.json] [--json]
+//!                  [--metrics-out metrics.prom] [--progress[=off|info|debug]]
 //! bassctl metrics  --in metrics.prom [--diff other.prom | --lint]
 //! bassctl schema                       # print example input files
 //! ```
+//!
+//! `arena` races scheduler policies (`bass`, `k3s-default`, `spread`,
+//! `random`, `network-aware-greedy`, `metronome`; default all) over the
+//! `--spec` corpus and prints a ranked comparison table — see
+//! `docs/POLICIES.md`. `--out` writes the deterministic table JSON
+//! (byte-identical at any `--jobs`); stdout adds wall-clock ticks/s.
 //!
 //! `--metrics-out` writes a Prometheus text-format exposition of the
 //! run's counters, gauges, and per-phase span timings; `--profile`
@@ -30,16 +40,17 @@ use bass_appdag::Manifest;
 use bass_cli::{commands::recommend, commands::traces, order, place, simulate, SimulateOptions, TestbedSpec};
 use bass_cluster::BaselinePolicy;
 use bass_core::heuristics::BfsWeighting;
-use bass_core::SchedulerPolicy;
+use bass_core::PlacementPolicy;
 use std::process::ExitCode;
 
 struct Args {
     manifest: Option<String>,
     testbed: Option<String>,
-    spec: Option<String>,
+    specs: Vec<String>,
+    arena_policies: Vec<bass_core::PolicyKind>,
     jobs: usize,
     out: Option<String>,
-    policy: SchedulerPolicy,
+    policy: PlacementPolicy,
     duration_s: u64,
     migrations: bool,
     seed: u64,
@@ -58,12 +69,12 @@ struct Args {
     lint: bool,
 }
 
-fn parse_policy(name: &str) -> Result<SchedulerPolicy, String> {
+fn parse_policy(name: &str) -> Result<PlacementPolicy, String> {
     match name {
-        "bfs" => Ok(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
-        "longest-path" | "lp" => Ok(SchedulerPolicy::LongestPath),
-        "hybrid" => Ok(SchedulerPolicy::Hybrid { fanout_threshold: 3 }),
-        "k3s" => Ok(SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated)),
+        "bfs" => Ok(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight)),
+        "longest-path" | "lp" => Ok(PlacementPolicy::LongestPath),
+        "hybrid" => Ok(PlacementPolicy::Hybrid { fanout_threshold: 3 }),
+        "k3s" => Ok(PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated)),
         other => Err(format!(
             "unknown policy '{other}' (expected bfs, longest-path, hybrid, or k3s)"
         )),
@@ -86,10 +97,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
     let mut args = Args {
         manifest: None,
         testbed: None,
-        spec: None,
+        specs: Vec::new(),
+        arena_policies: Vec::new(),
         jobs: 1,
         out: None,
-        policy: SchedulerPolicy::LongestPath,
+        policy: PlacementPolicy::LongestPath,
         duration_s: 300,
         migrations: true,
         seed: 42,
@@ -112,7 +124,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         match flag.as_str() {
             "--manifest" => args.manifest = Some(value("--manifest")?),
             "--testbed" => args.testbed = Some(value("--testbed")?),
-            "--spec" => args.spec = Some(value("--spec")?),
+            "--spec" => args.specs.push(value("--spec")?),
             "--out" => args.out = Some(value("--out")?),
             "--jobs" => {
                 args.jobs = value("--jobs")?
@@ -122,7 +134,19 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
                     return Err("--jobs must be at least 1".to_string());
                 }
             }
-            "--policy" => args.policy = parse_policy(&value("--policy")?)?,
+            // `arena` races migration policies (registry names like
+            // `bass`); every other command takes a placement policy.
+            // Arena accepts the flag repeated and/or comma-separated.
+            "--policy" => {
+                let v = value("--policy")?;
+                if command == "arena" {
+                    for name in v.split(',').filter(|n| !n.trim().is_empty()) {
+                        args.arena_policies.push(bass_core::PolicyKind::parse(name.trim())?);
+                    }
+                } else {
+                    args.policy = parse_policy(&v)?;
+                }
+            }
             "--duration" => {
                 args.duration_s = value("--duration")?
                     .parse()
@@ -307,7 +331,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "campaign" => {
-            let path = args.spec.as_ref().ok_or("--spec is required")?;
+            let path = args.specs.first().ok_or("--spec is required")?;
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let spec = bass_scenario::ScenarioSpec::from_json(&text)
@@ -361,6 +385,48 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "arena" => {
+            if args.specs.is_empty() {
+                return Err("--spec is required (repeat for a multi-scenario corpus)".to_string());
+            }
+            let mut corpus = Vec::with_capacity(args.specs.len());
+            for path in &args.specs {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                corpus.push(
+                    bass_scenario::ScenarioSpec::from_json(&text)
+                        .map_err(|e| format!("cannot parse {path}: {e}"))?,
+                );
+            }
+            let opts = bass_cli::ArenaCommandOptions {
+                policies: args.arena_policies.clone(),
+                jobs: args.jobs,
+                engine: args.engine,
+                alloc_jobs: args.alloc_jobs,
+                step_mode: args.step_mode,
+                metrics_out: args.metrics_out.clone().map(std::path::PathBuf::from),
+                progress: args.progress,
+            };
+            let run = bass_cli::arena(&corpus, args.seed, &opts).map_err(|e| e.to_string())?;
+            if let Some(out) = &args.out {
+                // The deterministic table only — wall-clock timing never
+                // reaches the file, so bytes match at any --jobs.
+                std::fs::write(out, run.table.to_json())
+                    .map_err(|e| format!("cannot write {out}: {e}"))?;
+            }
+            if args.json {
+                println!("{}", run.table.to_json_with_timing(&run.timings));
+            } else {
+                print!("{}", run.table.to_text_with_timing(&run.timings));
+                if let Some(out) = &args.out {
+                    println!("table written to {out}");
+                }
+                if let Some(path) = &args.metrics_out {
+                    println!("metrics exposition -> {path}");
+                }
+            }
+            Ok(())
+        }
         "metrics" => {
             let input = args.input.as_ref().ok_or("--in is required")?;
             let report = bass_cli::metrics_report(
@@ -373,7 +439,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "--help" | "-h" | "help" => {
-            println!("bassctl order|place|simulate|campaign|metrics|schema — see crate docs");
+            println!("bassctl order|place|simulate|campaign|arena|metrics|schema — see crate docs");
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),

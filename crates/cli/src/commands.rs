@@ -3,7 +3,7 @@
 use crate::testbed::{TestbedError, TestbedSpec};
 use bass_appdag::{AppDag, Manifest};
 use bass_core::placement::crossing_bandwidth;
-use bass_core::{BassScheduler, SchedulerPolicy};
+use bass_core::{BassScheduler, PlacementPolicy};
 use bass_emu::{EnvError, Scenario, SimEnv, SimEnvConfig};
 use bass_mesh::NodeId;
 use bass_util::time::{SimDuration, SimTime};
@@ -104,7 +104,7 @@ pub struct PlaceOutcome {
 /// # Errors
 ///
 /// Fails on invalid manifests or empty/cyclic graphs.
-pub fn order(manifest: &Manifest, policy: SchedulerPolicy) -> Result<Vec<Vec<String>>, CommandError> {
+pub fn order(manifest: &Manifest, policy: PlacementPolicy) -> Result<Vec<Vec<String>>, CommandError> {
     let dag = manifest.to_dag()?;
     let ordering = BassScheduler::new(policy).ordering(&dag)?;
     Ok(ordering
@@ -128,7 +128,7 @@ pub fn order(manifest: &Manifest, policy: SchedulerPolicy) -> Result<Vec<Vec<Str
 pub fn place(
     manifest: &Manifest,
     testbed: &TestbedSpec,
-    policy: SchedulerPolicy,
+    policy: PlacementPolicy,
     seed: u64,
 ) -> Result<PlaceOutcome, CommandError> {
     let dag = manifest.to_dag()?;
@@ -152,7 +152,7 @@ fn outcome_from(dag: &AppDag, placement: &bass_cluster::Placement) -> PlaceOutco
 #[derive(Debug, Clone)]
 pub struct SimulateOptions {
     /// Placement policy.
-    pub policy: SchedulerPolicy,
+    pub policy: PlacementPolicy,
     /// Run length in seconds.
     pub duration_s: u64,
     /// Dynamic migration on/off.
@@ -195,7 +195,7 @@ pub struct SimulateOptions {
 impl Default for SimulateOptions {
     fn default() -> Self {
         SimulateOptions {
-            policy: SchedulerPolicy::LongestPath,
+            policy: PlacementPolicy::LongestPath,
             duration_s: 300,
             migrations: true,
             seed: 42,
@@ -465,6 +465,7 @@ pub fn campaign(
         step_mode: opts.step_mode,
         profile: opts.profile || opts.metrics_out.is_some(),
         progress: opts.progress,
+        policy: bass_core::PolicyKind::Bass,
     };
     let run =
         bass_scenario::run_campaign_opts(spec, seed, &scn_opts).map_err(CommandError::Campaign)?;
@@ -509,6 +510,117 @@ fn campaign_metrics(summary: &bass_scenario::CampaignSummary) -> bass_obs::Metri
     m.set_gauge("campaign.goodput.mean", a.goodput.mean);
     m.set_gauge("campaign.mean_achieved_mbps", a.mean_achieved_mbps);
     m
+}
+
+/// How to run `bassctl arena`: which policies compete and how each
+/// underlying campaign executes.
+#[derive(Debug, Clone)]
+pub struct ArenaCommandOptions {
+    /// Competing policies in presentation order (`--policy`, repeatable
+    /// or comma-separated). Empty means the full registry.
+    pub policies: Vec<bass_core::PolicyKind>,
+    /// Worker threads for replica execution (`--jobs`); table bytes are
+    /// identical at any value.
+    pub jobs: usize,
+    /// Max-min allocation engine (`--engine dense|incremental|delta`).
+    pub engine: bass_mesh::AllocEngine,
+    /// Worker threads for the delta engine's sharded component fill
+    /// (`--alloc-jobs`; byte-identical outputs at any value).
+    pub alloc_jobs: usize,
+    /// How each replica's loop advances time (`--step-mode`).
+    pub step_mode: bass_core::StepMode,
+    /// When set, write a Prometheus exposition with one
+    /// `policy="…"`-labelled block per competitor to this path.
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// Progress reporting level on stderr; excluded from all
+    /// deterministic outputs.
+    pub progress: bass_obs::ProgressLevel,
+}
+
+impl Default for ArenaCommandOptions {
+    fn default() -> Self {
+        ArenaCommandOptions {
+            policies: Vec::new(),
+            jobs: 1,
+            engine: bass_mesh::AllocEngine::default(),
+            alloc_jobs: 1,
+            step_mode: bass_core::StepMode::Ticked,
+            metrics_out: None,
+            progress: bass_obs::ProgressLevel::Off,
+        }
+    }
+}
+
+/// `bassctl arena`: race every requested scheduler policy over a
+/// scenario corpus and return the ranked tournament (see
+/// `docs/POLICIES.md`). The table bytes are byte-identical for any
+/// `--jobs`/`--alloc-jobs` value; wall-clock ticks/s lives only in the
+/// separate timing records.
+///
+/// # Errors
+///
+/// Fails on an empty corpus, an invalid spec, a campaign failure, or an
+/// unwritable metrics path.
+pub fn arena(
+    corpus: &[bass_scenario::ScenarioSpec],
+    seed: u64,
+    opts: &ArenaCommandOptions,
+) -> Result<bass_scenario::ArenaRun, CommandError> {
+    let scn_opts = bass_scenario::ArenaOptions {
+        policies: opts.policies.clone(),
+        campaign: bass_scenario::CampaignOptions {
+            jobs: opts.jobs,
+            engine: opts.engine,
+            alloc_jobs: opts.alloc_jobs,
+            step_mode: opts.step_mode,
+            profile: false,
+            progress: opts.progress,
+            policy: bass_core::PolicyKind::Bass,
+        },
+    };
+    let run =
+        bass_scenario::run_arena(corpus, seed, &scn_opts).map_err(CommandError::Campaign)?;
+    if let Some(path) = &opts.metrics_out {
+        let text = arena_metrics_exposition(&run.table);
+        std::fs::write(path, text)
+            .map_err(|e| CommandError::Metrics(format!("{}: {e}", path.display())))?;
+    }
+    Ok(run)
+}
+
+/// Renders the tournament as concatenated per-policy labelled blocks:
+/// every competitor gets its standing (`policy="…"`) plus one
+/// `policy`+`scenario`-labelled block per row, so the exposition stays
+/// lint-clean while policies remain separable series.
+fn arena_metrics_exposition(table: &bass_scenario::ArenaTable) -> String {
+    let mut out = String::new();
+    for s in &table.ranking {
+        let mut m = bass_obs::Metrics::new();
+        m.set_gauge("arena.rank", s.rank as f64);
+        m.set_gauge("arena.goodput.mean", s.mean_goodput);
+        m.add("arena.migrations", s.migrations);
+        out.push_str(&bass_obs::prom::render_with_labels(
+            &m,
+            None,
+            &[("policy", s.policy.as_str())],
+        ));
+    }
+    for r in &table.rows {
+        let mut m = bass_obs::Metrics::new();
+        m.set_gauge("arena.scenario.goodput.mean", r.mean_goodput);
+        m.set_gauge("arena.scenario.goodput.p50", r.p50_goodput);
+        m.set_gauge("arena.scenario.goodput.p95", r.p95_goodput);
+        m.set_gauge("arena.scenario.mbps.mean", r.mean_achieved_mbps);
+        m.add("arena.scenario.migrations", r.migrations);
+        m.add("arena.scenario.unplaceable", r.unplaceable);
+        m.add("arena.scenario.ticks", r.ticks);
+        out.push_str(&bass_obs::prom::render_with_labels(
+            &m,
+            None,
+            &[("policy", r.policy.as_str()), ("scenario", r.scenario.as_str())],
+        ));
+    }
+    out
 }
 
 /// `bassctl metrics`: load a Prometheus text-format exposition, lint it,
@@ -588,7 +700,7 @@ mod tests {
 
     #[test]
     fn order_lists_groups() {
-        let groups = order(&camera_manifest(), SchedulerPolicy::LongestPath).unwrap();
+        let groups = order(&camera_manifest(), PlacementPolicy::LongestPath).unwrap();
         assert_eq!(groups.len(), 2);
         assert_eq!(
             groups[0],
@@ -602,7 +714,7 @@ mod tests {
         let outcome = place(
             &camera_manifest(),
             &lan_testbed(),
-            SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
             1,
         )
         .unwrap();
@@ -622,7 +734,7 @@ mod tests {
         let base = place(
             &camera_manifest(),
             &testbed,
-            SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
             1,
         )
         .unwrap();
@@ -637,7 +749,7 @@ mod tests {
             &camera_manifest(),
             &testbed,
             SimulateOptions {
-                policy: SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+                policy: PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
                 duration_s: 240,
                 migrations: true,
                 seed: 1,
@@ -688,7 +800,7 @@ mod tests {
         for n in &mut testbed.nodes {
             n.cores = 2; // detector needs 8
         }
-        let err = place(&camera_manifest(), &testbed, SchedulerPolicy::LongestPath, 1)
+        let err = place(&camera_manifest(), &testbed, PlacementPolicy::LongestPath, 1)
             .unwrap_err();
         assert!(matches!(err, CommandError::Schedule(_)));
         assert!(err.to_string().contains("scheduling error"));

@@ -503,3 +503,71 @@ fn bad_inputs_fail_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
 }
+
+#[test]
+fn arena_runs_a_tournament_with_lint_clean_labelled_metrics() {
+    let dir = temp_dir("arena");
+    let spec = write_campaign_spec(&dir, 120);
+    let table = dir.join("table.json");
+    let metrics = dir.join("arena.prom");
+    let out = bassctl()
+        .args(["arena", "--spec"])
+        .arg(&spec)
+        .args(["--policy", "bass,random", "--policy", "spread", "--jobs", "2"])
+        .arg("--out")
+        .arg(&table)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The ranked text table with a wall-clock column on stdout.
+    assert!(stdout.contains("rank"), "{stdout}");
+    assert!(stdout.contains("ticks/s"), "{stdout}");
+    for policy in ["bass", "random", "spread"] {
+        assert!(stdout.contains(policy), "{policy} missing from table:\n{stdout}");
+    }
+
+    // The deterministic table JSON parses and ranks all three entrants.
+    let text = std::fs::read_to_string(&table).expect("table written");
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("table parses");
+    assert_eq!(parsed["ranking"].as_array().expect("ranking").len(), 3);
+    // Wall-clock timing must never reach the deterministic file.
+    assert!(!text.contains("ticks_per_sec"), "timing leaked into --out bytes");
+
+    // Per-policy labelled series, lint-clean under the committed lint.
+    let prom = std::fs::read_to_string(&metrics).expect("metrics written");
+    for policy in ["bass", "random", "spread"] {
+        let label = format!("policy=\"{policy}\"");
+        assert!(prom.contains(&label), "missing {label} in exposition");
+    }
+    let out = bassctl()
+        .args(["metrics", "--in"])
+        .arg(&metrics)
+        .arg("--lint")
+        .output()
+        .expect("bassctl runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn arena_rejects_unknown_policy_names_cleanly() {
+    // The negative path: a bogus policy name fails with the registry
+    // listing, before any spec is even loaded, and never panics.
+    let out = bassctl()
+        .args(["arena", "--spec", "/nonexistent/spec.json", "--policy", "first-fit"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown policy 'first-fit'"), "{stderr}");
+    assert!(stderr.contains("network-aware-greedy"), "registry listing missing: {stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // And with no --spec at all, arena asks for one.
+    let out = bassctl().args(["arena", "--policy", "bass"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--spec is required"));
+}

@@ -7,7 +7,8 @@
 //! monitor; migrations as plans). The emulation layer enacts plans by
 //! relocating components and charging restart downtime.
 
-use crate::migration::{find_candidates, MigrationCandidates, MigrationConfig};
+use crate::migration::{MigrationCandidates, MigrationConfig};
+use crate::policy::{PolicyCtx, PolicyKind, SchedulerPolicy};
 use bass_appdag::{AppDag, ComponentId};
 use bass_cluster::Cluster;
 use bass_mesh::{Mesh, NodeId};
@@ -98,16 +99,26 @@ impl ControllerOutcome {
 #[derive(Debug, Clone)]
 pub struct BassController {
     cfg: ControllerConfig,
+    policy_kind: PolicyKind,
+    policy: Box<dyn SchedulerPolicy>,
     last_migration: Option<SimTime>,
     full_probes_triggered: u64,
     cache: crate::score_cache::TargetScoreCache,
 }
 
 impl BassController {
-    /// Creates a controller.
+    /// Creates a controller running the default [`PolicyKind::Bass`]
+    /// migration policy (the paper's behaviour).
     pub fn new(cfg: ControllerConfig) -> Self {
+        Self::with_policy(cfg, PolicyKind::Bass)
+    }
+
+    /// Creates a controller running `policy` (see `docs/POLICIES.md`).
+    pub fn with_policy(cfg: ControllerConfig, policy: PolicyKind) -> Self {
         BassController {
             cfg,
+            policy_kind: policy,
+            policy: policy.build(),
             last_migration: None,
             full_probes_triggered: 0,
             cache: crate::score_cache::TargetScoreCache::new(),
@@ -119,6 +130,33 @@ impl BassController {
         self.cfg
     }
 
+    /// The migration policy in use.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy_kind
+    }
+
+    /// The registry name of the migration policy in use.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Swaps the migration policy mid-flight. Cached target scores
+    /// belong to the old policy's decision stream, so the score cache
+    /// is dropped (its behaviour counters survive, like
+    /// [`reset`](Self::reset)); the cooldown clock is kept — a policy
+    /// switch is a reconfiguration, not a process restart.
+    pub fn set_policy(&mut self, policy: PolicyKind) {
+        self.policy_kind = policy;
+        self.policy = policy.build();
+        self.cache.clear();
+    }
+
+    /// Read access to the persistent target-score cache (diagnostics
+    /// and tests; the controller keeps it synced internally).
+    pub fn score_cache(&self) -> &crate::score_cache::TargetScoreCache {
+        &self.cache
+    }
+
     /// Resets runtime state as if the controller process restarted: the
     /// cooldown clock and escalation counter are lost (any in-flight
     /// migration plans die with the old process; fault injection uses
@@ -128,6 +166,10 @@ impl BassController {
         self.last_migration = None;
         self.full_probes_triggered = 0;
         self.cache.clear();
+        // The policy's in-memory state (e.g. the random policy's RNG
+        // stream) dies with the process; the kind is configuration and
+        // is rebuilt fresh.
+        self.policy = self.policy_kind.build();
     }
 
     /// How the persistent target-score cache has been behaving.
@@ -234,7 +276,18 @@ impl BassController {
 
         let mut clock = bass_obs::PhaseClock::new(profiler.is_some());
         let placement = cluster.placement();
-        let candidates = find_candidates(dag, &placement, goodput, mesh, &self.cfg.migration, pinned);
+        let ctx = PolicyCtx {
+            mesh,
+            dag,
+            cluster,
+            goodput,
+            placement: &placement,
+            pinned,
+            migration: self.cfg.migration,
+            best_effort_targets: self.cfg.best_effort_targets,
+            verify_score_cache: self.cfg.verify_score_cache,
+        };
+        let candidates = self.policy.find_candidates(&ctx);
         clock.lap(profiler.as_deref_mut(), "ctl.candidates");
         // Bring the persistent score cache up to date with this round's
         // world (flush on placement/routing moves, targeted eviction on
@@ -269,17 +322,8 @@ impl BassController {
             };
             let observed = candidates.worst_goodput_fraction(component);
             let degraded = observed < self.cfg.migration.goodput_threshold;
-            let target = crate::rescheduler::select_target_with(
-                component,
-                dag,
-                cluster,
-                mesh,
-                observed,
-                degraded,
-                self.cfg.best_effort_targets,
-                Some(&mut self.cache),
-                self.cfg.verify_score_cache,
-            );
+            let target =
+                self.policy.select_target(component, observed, degraded, &ctx, &mut self.cache);
             match target {
                 Ok(to) => {
                     if let Some(j) = journal.as_deref_mut() {
@@ -500,6 +544,90 @@ mod tests {
         measure(&mut w);
         let o2 = ctl.tick(&w.mesh, &mut w.netmon, &w.goodput, &w.dag, &w.cluster, &Default::default());
         assert_eq!(o2.plans.len(), 1);
+    }
+
+    #[test]
+    fn controller_restart_evicts_the_score_cache() {
+        let mut w = world();
+        let mut ctl = BassController::new(ControllerConfig::default());
+        w.mesh.set_link_cap(NodeId(0), NodeId(1), Some(mbps(2.0))).unwrap();
+        w.mesh.advance(SimDuration::from_secs(30));
+        measure(&mut w);
+        let o = ctl.tick(&w.mesh, &mut w.netmon, &w.goodput, &w.dag, &w.cluster, &Default::default());
+        assert_eq!(o.plans.len(), 1);
+        assert!(!ctl.score_cache().is_empty(), "target selection populates the cache");
+        let misses = ctl.score_cache_stats().misses;
+        assert!(misses > 0);
+        // A restart drops every cached score but keeps the counters —
+        // the next round starts cold and re-misses.
+        ctl.reset();
+        assert!(ctl.score_cache().is_empty());
+        assert_eq!(ctl.score_cache_stats().misses, misses);
+        w.mesh.advance(SimDuration::from_secs(30));
+        measure(&mut w);
+        ctl.tick(&w.mesh, &mut w.netmon, &w.goodput, &w.dag, &w.cluster, &Default::default());
+        assert!(ctl.score_cache_stats().misses > misses, "cold cache must re-score");
+    }
+
+    #[test]
+    fn policy_switch_evicts_the_score_cache_but_keeps_the_cooldown() {
+        let mut w = world();
+        let mut ctl = BassController::new(ControllerConfig::default());
+        assert_eq!(ctl.policy_name(), "bass");
+        w.mesh.set_link_cap(NodeId(0), NodeId(1), Some(mbps(2.0))).unwrap();
+        w.mesh.advance(SimDuration::from_secs(30));
+        measure(&mut w);
+        let o = ctl.tick(&w.mesh, &mut w.netmon, &w.goodput, &w.dag, &w.cluster, &Default::default());
+        assert_eq!(o.plans.len(), 1);
+        assert!(!ctl.score_cache().is_empty());
+        let last = ctl.last_migration_at();
+        assert!(last.is_some());
+        // Switching to another policy drops the old policy's scores but
+        // keeps the cooldown clock: a reconfiguration, not a restart.
+        ctl.set_policy(crate::policy::PolicyKind::Spread);
+        assert_eq!(ctl.policy_name(), "spread");
+        assert!(ctl.score_cache().is_empty());
+        assert_eq!(ctl.last_migration_at(), last);
+    }
+
+    #[test]
+    fn every_registered_policy_targets_an_up_node_that_fits() {
+        for kind in crate::policy::PolicyKind::all() {
+            let mut w = world();
+            let mut ctl = BassController::with_policy(ControllerConfig::default(), kind);
+            assert_eq!(ctl.policy_name(), kind.name());
+            w.mesh.set_link_cap(NodeId(0), NodeId(1), Some(mbps(2.0))).unwrap();
+            w.mesh.advance(SimDuration::from_secs(30));
+            measure(&mut w);
+            let o = ctl.tick(&w.mesh, &mut w.netmon, &w.goodput, &w.dag, &w.cluster, &Default::default());
+            for plan in &o.plans {
+                assert!(w.mesh.node_is_up(plan.to), "{kind:?} targeted a down node");
+                assert_ne!(plan.to, plan.from, "{kind:?} migrated in place");
+                let req = w.dag.component(plan.component).unwrap().resources;
+                assert!(
+                    w.cluster.fits(plan.to, req).unwrap(),
+                    "{kind:?} targeted a node without capacity"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bass_policy_controller_matches_the_default_construction() {
+        // `new` and `with_policy(Bass)` must be the same controller.
+        let run = |mut ctl: BassController| {
+            let mut w = world();
+            w.mesh.set_link_cap(NodeId(0), NodeId(1), Some(mbps(2.0))).unwrap();
+            w.mesh.advance(SimDuration::from_secs(30));
+            measure(&mut w);
+            ctl.tick(&w.mesh, &mut w.netmon, &w.goodput, &w.dag, &w.cluster, &Default::default())
+        };
+        let a = run(BassController::new(ControllerConfig::default()));
+        let b = run(BassController::with_policy(
+            ControllerConfig::default(),
+            crate::policy::PolicyKind::Bass,
+        ));
+        assert_eq!(a, b);
     }
 
     #[test]

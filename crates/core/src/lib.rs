@@ -22,9 +22,16 @@
 //!   selection scores the controller carries across rounds, with the
 //!   dense re-score kept behind a verify flag as a bit-identical
 //!   oracle.
+//! - [`policy`]: the pluggable migration-decision layer — the
+//!   [`policy::SchedulerPolicy`] trait (candidate filtering + target
+//!   selection) with the paper's controller as the default
+//!   implementation among spread/random/greedy/k3s/Metronome
+//!   baselines, registered under [`policy::PolicyKind`] (see
+//!   `docs/POLICIES.md`).
 //! - [`controller`]: the bandwidth controller (§4.3) — headroom
 //!   monitoring, full-probe escalation, cooldowns, and migration
-//!   planning.
+//!   planning, delegating the decisions themselves to its
+//!   [`policy::SchedulerPolicy`].
 //! - [`events`]: the event-driven stepping primitives — the
 //!   [`StepMode`] switch and the [`EventQueue`] a next-event scanner
 //!   folds over to skip quiescent tick windows byte-identically.
@@ -46,6 +53,7 @@ pub mod heuristics;
 pub mod migration;
 pub mod placement;
 pub mod planner;
+pub mod policy;
 pub mod ranking;
 pub mod rescheduler;
 pub mod scheduler;
@@ -53,8 +61,9 @@ pub mod score_cache;
 pub mod tuning;
 
 pub use controller::{BassController, ControllerConfig, ControllerOutcome, MigrationPlan};
+pub use policy::{PolicyCtx, PolicyKind, SchedulerPolicy};
 pub use score_cache::{ScoreCacheStats, TargetScoreCache};
 pub use events::{EventQueue, EventSource, SimEvent, StepMode};
 pub use heuristics::{BfsWeighting, ComponentOrdering, HeuristicError};
 pub use placement::PlacementError;
-pub use scheduler::{BassScheduler, SchedulerPolicy};
+pub use scheduler::{BassScheduler, PlacementPolicy};

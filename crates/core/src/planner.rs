@@ -8,7 +8,7 @@
 //! with the DAG-shape statistics (fan-out, depth) that explain it.
 
 use crate::placement::crossing_bandwidth;
-use crate::scheduler::{BassScheduler, SchedulerPolicy};
+use crate::scheduler::{BassScheduler, PlacementPolicy};
 use crate::heuristics::BfsWeighting;
 use bass_appdag::AppDag;
 use bass_cluster::{BaselinePolicy, Cluster};
@@ -19,7 +19,7 @@ use serde::Serialize;
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PolicyScore {
     /// The policy.
-    pub policy: SchedulerPolicy,
+    pub policy: PlacementPolicy,
     /// Bandwidth crossing nodes under its placement, in bps.
     pub crossing_bps: f64,
     /// Crossing bandwidth as a fraction of the DAG's total.
@@ -45,7 +45,7 @@ impl Recommendation {
     ///
     /// Panics if no policy was feasible; check
     /// [`Recommendation::is_feasible`] first.
-    pub fn best(&self) -> SchedulerPolicy {
+    pub fn best(&self) -> PlacementPolicy {
         self.ranking.first().expect("at least one feasible policy").policy
     }
 
@@ -94,10 +94,10 @@ pub fn recommend_observed(
     mut journal: Option<&mut bass_obs::Journal>,
 ) -> Recommendation {
     let policies = [
-        SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
-        SchedulerPolicy::LongestPath,
-        SchedulerPolicy::Hybrid { fanout_threshold: 3 },
-        SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
+        PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+        PlacementPolicy::LongestPath,
+        PlacementPolicy::Hybrid { fanout_threshold: 3 },
+        PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
     ];
     let total = dag.total_bandwidth().as_bps();
     let mut ranking: Vec<PolicyScore> = policies
@@ -163,7 +163,7 @@ mod tests {
             let rec = recommend(&dag, &cluster, &mesh);
             assert!(rec.is_feasible());
             assert!(
-                !matches!(rec.best(), SchedulerPolicy::K3sDefault(_)),
+                !matches!(rec.best(), PlacementPolicy::K3sDefault(_)),
                 "{}: the oblivious baseline should never win",
                 dag.name()
             );

@@ -11,7 +11,7 @@ use std::fmt;
 
 /// Which placement policy the scheduler applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum SchedulerPolicy {
+pub enum PlacementPolicy {
     /// Algorithm 1 — modified breadth-first traversal (best for DAGs
     /// with large fan-outs).
     BreadthFirst(BfsWeighting),
@@ -28,13 +28,13 @@ pub enum SchedulerPolicy {
     K3sDefault(BaselinePolicy),
 }
 
-impl fmt::Display for SchedulerPolicy {
+impl fmt::Display for PlacementPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchedulerPolicy::BreadthFirst(_) => write!(f, "bfs"),
-            SchedulerPolicy::LongestPath => write!(f, "longest-path"),
-            SchedulerPolicy::Hybrid { .. } => write!(f, "hybrid"),
-            SchedulerPolicy::K3sDefault(_) => write!(f, "k3s-default"),
+            PlacementPolicy::BreadthFirst(_) => write!(f, "bfs"),
+            PlacementPolicy::LongestPath => write!(f, "longest-path"),
+            PlacementPolicy::Hybrid { .. } => write!(f, "hybrid"),
+            PlacementPolicy::K3sDefault(_) => write!(f, "k3s-default"),
         }
     }
 }
@@ -97,7 +97,7 @@ impl From<ClusterError> for ScheduleError {
 /// ```
 /// use bass_appdag::catalog;
 /// use bass_cluster::{Cluster, NodeSpec};
-/// use bass_core::{BassScheduler, SchedulerPolicy};
+/// use bass_core::{BassScheduler, PlacementPolicy};
 /// use bass_mesh::{Mesh, Topology};
 /// use bass_util::prelude::*;
 ///
@@ -105,7 +105,7 @@ impl From<ClusterError> for ScheduleError {
 /// let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(3), Bandwidth::from_mbps(100.0))?;
 /// let mut cluster = Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384)))
 ///     .expect("unique nodes");
-/// let placement = BassScheduler::new(SchedulerPolicy::LongestPath)
+/// let placement = BassScheduler::new(PlacementPolicy::LongestPath)
 ///     .schedule(&dag, &mut cluster, &mesh)
 ///     .expect("feasible");
 /// assert_eq!(placement.len(), 5);
@@ -113,17 +113,17 @@ impl From<ClusterError> for ScheduleError {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BassScheduler {
-    policy: SchedulerPolicy,
+    policy: PlacementPolicy,
 }
 
 impl BassScheduler {
     /// Creates a scheduler with the given policy.
-    pub fn new(policy: SchedulerPolicy) -> Self {
+    pub fn new(policy: PlacementPolicy) -> Self {
         BassScheduler { policy }
     }
 
     /// The active policy.
-    pub fn policy(&self) -> SchedulerPolicy {
+    pub fn policy(&self) -> PlacementPolicy {
         self.policy
     }
 
@@ -136,10 +136,10 @@ impl BassScheduler {
     /// Returns an error for empty or cyclic graphs.
     pub fn ordering(&self, dag: &AppDag) -> Result<ComponentOrdering, ScheduleError> {
         let ordering = match self.policy {
-            SchedulerPolicy::BreadthFirst(w) => breadth_first(dag, w)?,
-            SchedulerPolicy::LongestPath => longest_path(dag)?,
-            SchedulerPolicy::Hybrid { fanout_threshold } => hybrid(dag, fanout_threshold)?,
-            SchedulerPolicy::K3sDefault(_) => {
+            PlacementPolicy::BreadthFirst(w) => breadth_first(dag, w)?,
+            PlacementPolicy::LongestPath => longest_path(dag)?,
+            PlacementPolicy::Hybrid { fanout_threshold } => hybrid(dag, fanout_threshold)?,
+            PlacementPolicy::K3sDefault(_) => {
                 ComponentOrdering::new(vec![dag.component_ids().collect()])
             }
         };
@@ -160,7 +160,7 @@ impl BassScheduler {
         mesh: &Mesh,
     ) -> Result<Placement, ScheduleError> {
         match self.policy {
-            SchedulerPolicy::K3sDefault(policy) => {
+            PlacementPolicy::K3sDefault(policy) => {
                 let mut baseline = BaselineScheduler::new(policy);
                 Ok(baseline.schedule(dag, cluster)?)
             }
@@ -191,10 +191,10 @@ mod tests {
     #[test]
     fn all_policies_place_camera() {
         for policy in [
-            SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
-            SchedulerPolicy::LongestPath,
-            SchedulerPolicy::Hybrid { fanout_threshold: 3 },
-            SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
+            PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            PlacementPolicy::LongestPath,
+            PlacementPolicy::Hybrid { fanout_threshold: 3 },
+            PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
         ] {
             let (mesh, mut cluster) = setup(3, 12);
             let placement = BassScheduler::new(policy)
@@ -209,11 +209,11 @@ mod tests {
     fn k3s_baseline_spreads_while_bass_colocates() {
         let dag = catalog::camera_pipeline();
         let (mesh, mut c1) = setup(3, 16);
-        let bass = BassScheduler::new(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight))
+        let bass = BassScheduler::new(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight))
             .schedule(&dag, &mut c1, &mesh)
             .unwrap();
         let (_, mut c2) = setup(3, 16);
-        let k3s = BassScheduler::new(SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated))
+        let k3s = BassScheduler::new(PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated))
             .schedule(&dag, &mut c2, &mesh)
             .unwrap();
         let crossing = |p: &bass_cluster::Placement| crate::placement::crossing_bandwidth(&dag, p);
@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn k3s_ordering_is_id_order() {
         let dag = catalog::fig6_example();
-        let sched = BassScheduler::new(SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated));
+        let sched = BassScheduler::new(PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated));
         let order = sched.ordering(&dag).unwrap();
         let ids: Vec<u32> = order.flatten().iter().map(|c| c.0).collect();
         assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7]);
@@ -236,22 +236,22 @@ mod tests {
 
     #[test]
     fn default_policy_is_longest_path() {
-        assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::LongestPath);
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::LongestPath);
     }
 
     #[test]
     fn display_names() {
         assert_eq!(
-            SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight).to_string(),
+            PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight).to_string(),
             "bfs"
         );
-        assert_eq!(SchedulerPolicy::LongestPath.to_string(), "longest-path");
+        assert_eq!(PlacementPolicy::LongestPath.to_string(), "longest-path");
         assert_eq!(
-            SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated).to_string(),
+            PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated).to_string(),
             "k3s-default"
         );
         assert_eq!(
-            SchedulerPolicy::Hybrid { fanout_threshold: 2 }.to_string(),
+            PlacementPolicy::Hybrid { fanout_threshold: 2 }.to_string(),
             "hybrid"
         );
     }
@@ -260,7 +260,7 @@ mod tests {
     fn error_chains_are_sourced() {
         let dag = AppDag::new("empty");
         let (mesh, mut cluster) = setup(2, 4);
-        let err = BassScheduler::new(SchedulerPolicy::LongestPath)
+        let err = BassScheduler::new(PlacementPolicy::LongestPath)
             .schedule(&dag, &mut cluster, &mesh)
             .unwrap_err();
         assert!(std::error::Error::source(&err).is_some());
@@ -271,7 +271,7 @@ mod tests {
     fn infeasible_detector_reported() {
         let dag = catalog::camera_pipeline();
         let (mesh, mut cluster) = setup(3, 4); // detector wants 8 cores
-        let err = BassScheduler::new(SchedulerPolicy::LongestPath)
+        let err = BassScheduler::new(PlacementPolicy::LongestPath)
             .schedule(&dag, &mut cluster, &mesh)
             .unwrap_err();
         assert!(matches!(err, ScheduleError::Placement(_)));

@@ -5,9 +5,10 @@ use bass_appdag::{AppDag, ComponentId};
 use bass_cluster::{Cluster, MigrationRecord, Placement, RestartModel};
 use bass_core::heuristics::ComponentOrdering;
 use bass_core::placement::pack_ordering;
-use bass_core::scheduler::{BassScheduler, ScheduleError, SchedulerPolicy};
+use bass_core::scheduler::{BassScheduler, ScheduleError, PlacementPolicy};
 use bass_core::{
-    BassController, ControllerConfig, EventQueue, EventSource, MigrationPlan, SimEvent, StepMode,
+    BassController, ControllerConfig, EventQueue, EventSource, MigrationPlan, PolicyKind,
+    SimEvent, StepMode,
 };
 use bass_faults::{Fault, FaultPlan};
 use bass_mesh::{AllocEngine, FlowId, Mesh, MeshError, NodeId};
@@ -24,7 +25,11 @@ pub struct SimEnvConfig {
     /// Fixed simulation step (default 100 ms).
     pub step: SimDuration,
     /// Placement policy.
-    pub policy: SchedulerPolicy,
+    pub policy: PlacementPolicy,
+    /// Migration-decision policy the controller runs (the arena's
+    /// registry; the default [`PolicyKind::Bass`] is the paper's
+    /// behaviour and is byte-identical to the pre-trait controller).
+    pub migration_policy: PolicyKind,
     /// Controller configuration (thresholds, cooldown).
     pub controller: ControllerConfig,
     /// Net-monitor configuration (probe cadence, headroom).
@@ -80,7 +85,8 @@ impl Default for SimEnvConfig {
     fn default() -> Self {
         SimEnvConfig {
             step: SimDuration::from_millis(100),
-            policy: SchedulerPolicy::default(),
+            policy: PlacementPolicy::default(),
+            migration_policy: PolicyKind::default(),
             controller: ControllerConfig::default(),
             netmon: NetMonitorConfig::default(),
             restart: RestartModel::default(),
@@ -212,7 +218,7 @@ pub struct SimEnv {
 impl SimEnv {
     /// Creates an environment over a mesh, a cluster, and an application.
     pub fn new(mut mesh: Mesh, cluster: Cluster, dag: AppDag, cfg: SimEnvConfig) -> Self {
-        let controller = BassController::new(cfg.controller);
+        let controller = BassController::with_policy(cfg.controller, cfg.migration_policy);
         let netmon = NetMonitor::new(cfg.netmon);
         mesh.set_alloc_engine(cfg.alloc_engine);
         mesh.set_alloc_jobs(cfg.alloc_jobs);
@@ -392,7 +398,7 @@ impl SimEnv {
             return Ok(self.cluster.placement());
         }
         match self.cfg.policy {
-            SchedulerPolicy::K3sDefault(policy) => {
+            PlacementPolicy::K3sDefault(policy) => {
                 let mut baseline = bass_cluster::BaselineScheduler::new(policy);
                 for component in self.dag.components() {
                     if pinned.contains(&component.id) {
@@ -553,7 +559,7 @@ impl SimEnv {
             .map_err(EnvError::Dag)?;
         let result = (|| -> Result<(), EnvError> {
             match self.cfg.policy {
-                SchedulerPolicy::K3sDefault(policy) => {
+                PlacementPolicy::K3sDefault(policy) => {
                     let mut baseline = bass_cluster::BaselineScheduler::new(policy);
                     for &c in &added {
                         let resources =
@@ -1302,7 +1308,7 @@ mod tests {
         Bandwidth::from_mbps(x)
     }
 
-    fn camera_env(policy: SchedulerPolicy) -> SimEnv {
+    fn camera_env(policy: PlacementPolicy) -> SimEnv {
         let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(3), mbps(100.0)).unwrap();
         let cluster = Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384))).unwrap();
         let cfg = SimEnvConfig {
@@ -1383,7 +1389,7 @@ mod tests {
         // Identical envs, one with span profiling: journals (the full
         // decision record) must match byte for byte.
         let run = |profiled: bool| {
-            let mut env = camera_env(SchedulerPolicy::LongestPath);
+            let mut env = camera_env(PlacementPolicy::LongestPath);
             env.attach_journal(bass_obs::Journal::new());
             if profiled {
                 env.enable_span_profiling();
@@ -1430,7 +1436,7 @@ mod tests {
 
     #[test]
     fn deploy_creates_flows_for_crossing_edges_only() {
-        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        let mut env = camera_env(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
         env.deploy(&[]).unwrap();
         // BFS: {camera, sampler} | {detector, image, label} — only the
         // sampler→detector edge crosses.
@@ -1453,7 +1459,7 @@ mod tests {
 
     #[test]
     fn healthy_run_achieves_all_edges() {
-        let mut env = camera_env(SchedulerPolicy::LongestPath);
+        let mut env = camera_env(PlacementPolicy::LongestPath);
         env.deploy(&[]).unwrap();
         env.run_for(SimDuration::from_secs(5), |_| {}).unwrap();
         let dag = env.dag().clone();
@@ -1472,7 +1478,7 @@ mod tests {
 
     #[test]
     fn link_squeeze_triggers_migration_and_recovery() {
-        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        let mut env = camera_env(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
         env.deploy(&[]).unwrap();
         let dag = env.dag().clone();
         let id = |n: &str| dag.component_by_name(n).unwrap().id;
@@ -1506,7 +1512,7 @@ mod tests {
         let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(3), mbps(100.0)).unwrap();
         let cluster = Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384))).unwrap();
         let cfg = SimEnvConfig {
-            policy: SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            policy: PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
             migrations_enabled: false,
             ..Default::default()
         };
@@ -1531,7 +1537,7 @@ mod tests {
 
     #[test]
     fn restart_downtime_zeroes_demand_and_penalizes_delay() {
-        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        let mut env = camera_env(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
         env.deploy(&[]).unwrap();
         let dag = env.dag().clone();
         let id = |n: &str| dag.component_by_name(n).unwrap().id;
@@ -1563,7 +1569,7 @@ mod tests {
         let dag = catalog::camera_pipeline();
         let camera = dag.component_by_name("camera-stream").unwrap().id;
         let cfg = SimEnvConfig {
-            policy: SchedulerPolicy::LongestPath,
+            policy: PlacementPolicy::LongestPath,
             pinned: [camera].into_iter().collect(),
             ..Default::default()
         };
@@ -1575,7 +1581,7 @@ mod tests {
 
     #[test]
     fn demand_factor_scales_offered_load() {
-        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        let mut env = camera_env(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
         env.deploy(&[]).unwrap();
         let dag = env.dag().clone();
         let id = |n: &str| dag.component_by_name(n).unwrap().id;
@@ -1587,7 +1593,7 @@ mod tests {
 
     #[test]
     fn table1_style_round_accounting() {
-        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        let mut env = camera_env(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
         env.deploy(&[]).unwrap();
         let dag = env.dag().clone();
         let id = |n: &str| dag.component_by_name(n).unwrap().id;
@@ -1630,7 +1636,7 @@ mod tests {
         .unwrap();
         let cluster = Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384))).unwrap();
         let cfg = SimEnvConfig {
-            policy: SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            policy: PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
             migrations_enabled: false,
             adaptive_routing: Some(SimDuration::from_secs(5)),
             ..Default::default()
@@ -1673,7 +1679,7 @@ mod tests {
                 Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384))).unwrap(),
             );
             let cfg = SimEnvConfig {
-                policy: SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+                policy: PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
                 stateful_state: state,
                 ..Default::default()
             };
@@ -1709,7 +1715,7 @@ mod tests {
 
     #[test]
     fn online_profiler_learns_edge_requirements() {
-        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        let mut env = camera_env(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
         env.enable_online_profiling(bass_netmon::OnlineProfiler::new(0.95, 1.2, 10));
         env.deploy(&[]).unwrap();
         assert!(env.profiled_requirements().is_empty(), "needs warm-up");
@@ -1728,7 +1734,7 @@ mod tests {
 
     #[test]
     fn node_crash_evicts_and_recovery_replaces() {
-        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        let mut env = camera_env(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
         env.attach_journal(bass_obs::Journal::new());
         env.deploy(&[]).unwrap();
         let dag = env.dag().clone();
@@ -1783,7 +1789,7 @@ mod tests {
     #[test]
     fn empty_fault_plan_is_byte_identical_to_none() {
         let run = |with_empty_plan: bool| {
-            let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+            let mut env = camera_env(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
             env.attach_journal(bass_obs::Journal::new());
             if with_empty_plan {
                 env.set_fault_plan(FaultPlan::new().with_seed(99));
@@ -1797,7 +1803,7 @@ mod tests {
 
     #[test]
     fn controller_restart_loses_the_tick_and_the_cooldown() {
-        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        let mut env = camera_env(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
         env.attach_journal(bass_obs::Journal::new());
         env.deploy(&[]).unwrap();
         env.set_fault_plan(FaultPlan::new().controller_restart(SimTime::from_secs(10)));
@@ -1816,13 +1822,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "deploy")]
     fn step_before_deploy_panics() {
-        let mut env = camera_env(SchedulerPolicy::LongestPath);
+        let mut env = camera_env(PlacementPolicy::LongestPath);
         let _ = env.step();
     }
 
     #[test]
     fn journal_reconstructs_the_migration_decision() {
-        let mut env = camera_env(SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
+        let mut env = camera_env(PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight));
         env.attach_journal(bass_obs::Journal::new());
         env.deploy(&[]).unwrap();
         // Deploy narrates one initial full probe and every binding.
@@ -1892,7 +1898,7 @@ mod tests {
     /// per-run counters must attach a fresh `Journal` per run.
     #[test]
     fn journal_counters_accumulate_across_deploys() {
-        let mut env = camera_env(SchedulerPolicy::LongestPath);
+        let mut env = camera_env(PlacementPolicy::LongestPath);
         env.attach_journal(bass_obs::Journal::new());
         env.deploy(&[]).unwrap();
         {
@@ -1913,7 +1919,7 @@ mod tests {
         // Moving the journal to a fresh env keeps accumulating: nothing
         // in deploy() zeroes the counters or drops recorded events.
         let journal = env.take_journal().unwrap();
-        let mut env2 = camera_env(SchedulerPolicy::LongestPath);
+        let mut env2 = camera_env(PlacementPolicy::LongestPath);
         env2.attach_journal(journal);
         env2.deploy(&[]).unwrap();
         let journal = env2.journal().unwrap();
@@ -1930,7 +1936,7 @@ mod tests {
         let mesh = Mesh::with_uniform_capacity(Topology::full_mesh(3), mbps(100.0)).unwrap();
         let cluster = Cluster::new((0..3).map(|i| NodeSpec::cores_mb(i, 12, 16384))).unwrap();
         let cfg = SimEnvConfig {
-            policy: SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+            policy: PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
             step_mode: mode,
             ..Default::default()
         };
@@ -1989,7 +1995,7 @@ mod tests {
     #[test]
     fn hook_mutations_demote_skip_windows_not_correctness() {
         let run = |mode: StepMode| {
-            let mut env = camera_env(SchedulerPolicy::LongestPath);
+            let mut env = camera_env(PlacementPolicy::LongestPath);
             env.cfg.step_mode = mode;
             env.attach_journal(bass_obs::Journal::new());
             env.deploy(&[]).unwrap();
@@ -2014,7 +2020,7 @@ mod tests {
 
     #[test]
     fn skippable_ticks_guards_refuse_unprovable_states() {
-        let mut env = camera_env(SchedulerPolicy::LongestPath);
+        let mut env = camera_env(PlacementPolicy::LongestPath);
         // Not deployed yet.
         assert_eq!(env.skippable_ticks(100), 0);
         env.deploy(&[]).unwrap();
@@ -2036,7 +2042,7 @@ mod tests {
         // No scenario, no faults: the only events are probe epochs. A
         // long event-driven run must land probes on the same ticks.
         let run = |mode: StepMode| {
-            let mut env = camera_env(SchedulerPolicy::LongestPath);
+            let mut env = camera_env(PlacementPolicy::LongestPath);
             env.cfg.step_mode = mode;
             env.attach_journal(bass_obs::Journal::new());
             env.deploy(&[]).unwrap();

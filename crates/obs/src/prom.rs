@@ -65,28 +65,51 @@ fn escape_label(raw: &str) -> String {
 /// the `bass_span_duration_seconds` histogram family (labelled
 /// `span="<name>"`) along with `_min`/`_max` gauges.
 pub fn render(metrics: &Metrics, spans: Option<&SpanProfiler>) -> String {
+    render_with_labels(metrics, spans, &[])
+}
+
+/// [`render`] with a constant label set attached to every sample —
+/// `labels` like `&[("policy", "bass")]` yield series such as
+/// `bass_campaign_goodput_p50{policy="bass"}` and merge into span
+/// label blocks (`{span="...",policy="bass",le="..."}`).
+///
+/// Blocks rendered with different label values stay distinct series,
+/// so concatenated per-policy expositions (what `bassctl arena
+/// --metrics-out` writes) pass [`lint`] cleanly. With empty `labels`
+/// the output is byte-identical to [`render`].
+pub fn render_with_labels(
+    metrics: &Metrics,
+    spans: Option<&SpanProfiler>,
+    labels: &[(&str, &str)],
+) -> String {
+    let extra: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label(v)))
+        .collect();
+    let block = if extra.is_empty() { String::new() } else { format!("{{{}}}", extra.join(",")) };
+    let infix = if extra.is_empty() { String::new() } else { format!(",{}", extra.join(",")) };
     let mut out = String::new();
     for (name, value) in metrics.counters() {
         let prom = format!("bass_{}_total", sanitize_name(name));
         let _ = writeln!(out, "# HELP {prom} Counter {name} from the bass-obs registry.");
         let _ = writeln!(out, "# TYPE {prom} counter");
-        let _ = writeln!(out, "{prom} {value}");
+        let _ = writeln!(out, "{prom}{block} {value}");
     }
     for (name, value) in metrics.gauges() {
         let prom = format!("bass_{}", sanitize_name(name));
         let _ = writeln!(out, "# HELP {prom} Gauge {name} from the bass-obs registry.");
         let _ = writeln!(out, "# TYPE {prom} gauge");
-        let _ = writeln!(out, "{prom} {value}");
+        let _ = writeln!(out, "{prom}{block} {value}");
     }
     if let Some(profiler) = spans {
         if !profiler.is_empty() {
-            render_spans(profiler, &mut out);
+            render_spans(profiler, &infix, &mut out);
         }
     }
     out
 }
 
-fn render_spans(profiler: &SpanProfiler, out: &mut String) {
+fn render_spans(profiler: &SpanProfiler, infix: &str, out: &mut String) {
     const FAMILY: &str = "bass_span_duration_seconds";
     let _ = writeln!(
         out,
@@ -100,15 +123,22 @@ fn render_spans(profiler: &SpanProfiler, out: &mut String) {
             cumulative += stats.hist.bucket_count(i);
             let (_, upper_log10_ns) = stats.hist.bucket_bounds(i);
             let le = 10f64.powf(upper_log10_ns) / 1e9;
-            let _ = writeln!(out, "{FAMILY}_bucket{{span=\"{label}\",le=\"{le}\"}} {cumulative}");
+            let _ = writeln!(
+                out,
+                "{FAMILY}_bucket{{span=\"{label}\"{infix},le=\"{le}\"}} {cumulative}"
+            );
         }
         let _ = writeln!(
             out,
-            "{FAMILY}_bucket{{span=\"{label}\",le=\"+Inf\"}} {}",
+            "{FAMILY}_bucket{{span=\"{label}\"{infix},le=\"+Inf\"}} {}",
             stats.hist.total()
         );
-        let _ = writeln!(out, "{FAMILY}_sum{{span=\"{label}\"}} {}", stats.total_ns as f64 / 1e9);
-        let _ = writeln!(out, "{FAMILY}_count{{span=\"{label}\"}} {}", stats.count);
+        let _ = writeln!(
+            out,
+            "{FAMILY}_sum{{span=\"{label}\"{infix}}} {}",
+            stats.total_ns as f64 / 1e9
+        );
+        let _ = writeln!(out, "{FAMILY}_count{{span=\"{label}\"{infix}}} {}", stats.count);
     }
     for (suffix, help, pick) in [
         (
@@ -124,7 +154,7 @@ fn render_spans(profiler: &SpanProfiler, out: &mut String) {
         for (name, stats) in profiler.spans() {
             let _ = writeln!(
                 out,
-                "{family}{{span=\"{}\"}} {}",
+                "{family}{{span=\"{}\"{infix}}} {}",
                 escape_label(name),
                 pick(stats) as f64 / 1e9
             );
@@ -363,6 +393,26 @@ mod tests {
         assert!(text.contains("le=\"+Inf\"} 2"));
         let findings = lint(&text);
         assert!(findings.is_empty(), "lint findings: {findings:?}");
+    }
+
+    #[test]
+    fn labelled_render_is_lint_clean_and_concatenable() {
+        let mut prof = SpanProfiler::new();
+        prof.record("tick.alloc", Duration::from_micros(40));
+        let a = render_with_labels(&sample_metrics(), Some(&prof), &[("policy", "bass")]);
+        let b = render_with_labels(&sample_metrics(), Some(&prof), &[("policy", "random")]);
+        assert!(a.contains("bass_campaign_goodput_p50{policy=\"bass\"} 0.75"), "{a}");
+        assert!(
+            a.contains("bass_span_duration_seconds_count{span=\"tick.alloc\",policy=\"bass\"} 1"),
+            "{a}"
+        );
+        // Two policies' blocks concatenate into one lint-clean file:
+        // the label keeps every series distinct.
+        let both = format!("{a}{b}");
+        let findings = lint(&both);
+        assert!(findings.is_empty(), "lint findings: {findings:?}");
+        // Empty labels reproduce render() byte-for-byte.
+        assert_eq!(render_with_labels(&sample_metrics(), Some(&prof), &[]), render(&sample_metrics(), Some(&prof)));
     }
 
     #[test]

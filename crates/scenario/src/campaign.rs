@@ -23,7 +23,7 @@
 use crate::generate::{generate, AppKind, GeneratedScenario, WorkloadEvent};
 use crate::spec::{ScenarioSpec, SpecError};
 use bass_appdag::{AppDag, ComponentId};
-use bass_core::StepMode;
+use bass_core::{PolicyKind, StepMode};
 use bass_emu::{EnvError, SimEnv, SimEnvConfig};
 use bass_mesh::{AllocEngine, MeshError};
 use bass_obs::{Progress, ProgressLevel, SpanProfiler};
@@ -271,6 +271,11 @@ pub struct CampaignOptions {
     pub profile: bool,
     /// Live progress reporting to stderr (replicas done, ticks/s, ETA).
     pub progress: ProgressLevel,
+    /// Migration-decision policy every replica's controller runs. This
+    /// one DOES change the summary bytes — it is the arena's
+    /// independent variable; the default [`PolicyKind::Bass`] keeps
+    /// summaries byte-identical to the pre-arena runner.
+    pub policy: PolicyKind,
 }
 
 impl Default for CampaignOptions {
@@ -282,6 +287,7 @@ impl Default for CampaignOptions {
             step_mode: StepMode::Ticked,
             profile: false,
             progress: ProgressLevel::Off,
+            policy: PolicyKind::Bass,
         }
     }
 }
@@ -427,7 +433,7 @@ pub fn run_campaign_opts(
     })
 }
 
-fn engine_label(engine: AllocEngine) -> &'static str {
+pub(crate) fn engine_label(engine: AllocEngine) -> &'static str {
     match engine {
         AllocEngine::Dense => "dense",
         AllocEngine::Incremental => "incremental",
@@ -532,6 +538,7 @@ fn run_replica(
         alloc_engine: opts.engine,
         alloc_jobs: opts.alloc_jobs.max(1),
         step_mode: opts.step_mode,
+        migration_policy: opts.policy,
         faults: scenario.faults.clone(),
         ..SimEnvConfig::default()
     };

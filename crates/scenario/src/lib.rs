@@ -23,8 +23,16 @@
 //!   same order-preserving claim pattern as the experiment runner — the
 //!   summary JSON is byte-identical for any `--jobs` value.
 //!
-//! The determinism battery lives in `tests/scenario_properties.rs` and
-//! `tests/campaign.rs`; `docs/SCENARIOS.md` documents the spec format.
+//! On top of the campaign runner sits the **scheduler arena**
+//! ([`arena`]): [`run_arena`] races every registered migration policy
+//! (`bass_core::PolicyKind`) over a scenario corpus and emits a ranked
+//! comparison table with the campaign runner's byte-identical
+//! guarantees — `bassctl arena` is its CLI face and
+//! `docs/POLICIES.md` its contract.
+//!
+//! The determinism battery lives in `tests/scenario_properties.rs`,
+//! `tests/campaign.rs`, and `tests/policy.rs`; `docs/SCENARIOS.md`
+//! documents the spec format.
 //!
 //! ## Example
 //!
@@ -42,10 +50,14 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod campaign;
 pub mod generate;
 pub mod spec;
 
+pub use arena::{
+    run_arena, ArenaOptions, ArenaRow, ArenaRun, ArenaStanding, ArenaTable, ArenaTiming,
+};
 pub use campaign::{
     run_campaign, run_campaign_opts, AggregateSummary, CampaignError, CampaignOptions,
     CampaignRun, CampaignSummary, QuantileSummary, ReplicaSummary,

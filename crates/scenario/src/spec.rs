@@ -224,7 +224,7 @@ impl fmt::Display for SpecError {
 impl Error for SpecError {}
 
 impl SpecError {
-    fn new(msg: impl Into<String>) -> Self {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
         SpecError(msg.into())
     }
 }

@@ -10,7 +10,7 @@ use bass::apps::camera::{CameraCalibration, CameraWorkload};
 use bass::apps::testbeds::lan_testbed;
 use bass::cluster::BaselinePolicy;
 use bass::core::heuristics::BfsWeighting;
-use bass::core::SchedulerPolicy;
+use bass::core::PlacementPolicy;
 use bass::emu::{Recorder, SimEnv, SimEnvConfig};
 use bass::util::time::SimDuration;
 
@@ -20,9 +20,9 @@ fn main() {
     println!("application DAG:\n{}", dag.to_dot());
 
     for policy in [
-        SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
-        SchedulerPolicy::LongestPath,
-        SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
+        PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+        PlacementPolicy::LongestPath,
+        PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
     ] {
         let (mesh, cluster) = lan_testbed(3, 12);
         let cfg = SimEnvConfig { policy, ..Default::default() };

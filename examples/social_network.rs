@@ -10,11 +10,11 @@ use bass::apps::testbeds::citylab_testbed;
 use bass::apps::{ArrivalProcess, SocialNetWorkload};
 use bass::appdag::catalog;
 use bass::cluster::BaselinePolicy;
-use bass::core::SchedulerPolicy;
+use bass::core::PlacementPolicy;
 use bass::emu::{Recorder, SimEnv, SimEnvConfig};
 use bass::util::time::SimDuration;
 
-fn run(policy: SchedulerPolicy, migrations: bool) -> (f64, f64, usize) {
+fn run(policy: PlacementPolicy, migrations: bool) -> (f64, f64, usize) {
     let duration = SimDuration::from_secs(600);
     let (mesh, cluster, _) = citylab_testbed(7, duration + SimDuration::from_secs(60));
     let cfg = SimEnvConfig {
@@ -42,11 +42,11 @@ fn main() {
     println!("social network, 50 RPS, 10 minutes on the CityLab-like mesh\n");
     println!("{:<28} {:>10} {:>12} {:>11}", "configuration", "p50 (ms)", "p99 (ms)", "migrations");
     for (label, policy, migrations) in [
-        ("longest-path + migration", SchedulerPolicy::LongestPath, true),
-        ("longest-path, static", SchedulerPolicy::LongestPath, false),
+        ("longest-path + migration", PlacementPolicy::LongestPath, true),
+        ("longest-path, static", PlacementPolicy::LongestPath, false),
         (
             "k3s default",
-            SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
+            PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
             false,
         ),
     ] {

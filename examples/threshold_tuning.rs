@@ -11,7 +11,7 @@ use bass::apps::testbeds::citylab_testbed;
 use bass::apps::{ArrivalProcess, SocialNetWorkload};
 use bass::appdag::catalog;
 use bass::core::tuning::{tune, TuningGrid, TuningPoint};
-use bass::core::SchedulerPolicy;
+use bass::core::PlacementPolicy;
 use bass::emu::{Recorder, SimEnv, SimEnvConfig};
 use bass::util::time::SimDuration;
 
@@ -19,7 +19,7 @@ fn evaluate(point: TuningPoint) -> f64 {
     let duration = SimDuration::from_secs(600);
     let (mesh, cluster, _) = citylab_testbed(1450, duration + SimDuration::from_secs(60));
     let mut cfg = SimEnvConfig {
-        policy: SchedulerPolicy::LongestPath,
+        policy: PlacementPolicy::LongestPath,
         ..Default::default()
     };
     cfg.controller.migration.utilization_threshold = point.threshold;

@@ -8,7 +8,7 @@
 use bass::apps::videoconf::{ClientGroup, VideoConfConfig, VideoConfWorkload, SFU_ID};
 use bass::apps::testbeds::lan_testbed;
 use bass::cluster::{Cluster, NodeSpec, RestartModel};
-use bass::core::SchedulerPolicy;
+use bass::core::PlacementPolicy;
 use bass::emu::{Recorder, Scenario, SimEnv, SimEnvConfig};
 use bass::mesh::NodeId;
 use bass::util::time::{SimDuration, SimTime};
@@ -31,7 +31,7 @@ fn main() {
     .expect("unique nodes");
 
     let mut env_cfg = SimEnvConfig {
-        policy: SchedulerPolicy::LongestPath,
+        policy: PlacementPolicy::LongestPath,
         pinned,
         restart: RestartModel::webrtc(),
         ..Default::default()

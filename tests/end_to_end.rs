@@ -6,13 +6,13 @@ use bass::apps::testbeds::{citylab_testbed, lan_testbed};
 use bass::apps::{ArrivalProcess, SocialNetWorkload};
 use bass::cluster::BaselinePolicy;
 use bass::core::heuristics::BfsWeighting;
-use bass::core::SchedulerPolicy;
+use bass::core::PlacementPolicy;
 use bass::emu::{Recorder, Scenario, SimEnv, SimEnvConfig};
 use bass::mesh::NodeId;
 use bass::util::time::{SimDuration, SimTime};
 use bass::util::units::Bandwidth;
 
-fn camera_env(policy: SchedulerPolicy, migrations: bool) -> SimEnv {
+fn camera_env(policy: PlacementPolicy, migrations: bool) -> SimEnv {
     let (mesh, cluster) = lan_testbed(3, 12);
     let cfg = SimEnvConfig {
         policy,
@@ -27,7 +27,7 @@ fn camera_env(policy: SchedulerPolicy, migrations: bool) -> SimEnv {
 #[test]
 fn full_cycle_deploy_restrict_migrate_recover() {
     let mut env = camera_env(
-        SchedulerPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
+        PlacementPolicy::BreadthFirst(BfsWeighting::EdgeWeight),
         true,
     );
     let dag = env.dag().clone();
@@ -60,7 +60,7 @@ fn full_cycle_deploy_restrict_migrate_recover() {
 #[test]
 fn static_baseline_stays_degraded() {
     let mut env = camera_env(
-        SchedulerPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
+        PlacementPolicy::K3sDefault(BaselinePolicy::LeastAllocated),
         false,
     );
     let dag = env.dag().clone();
@@ -86,7 +86,7 @@ fn social_network_runs_on_citylab_deterministically() {
         let duration = SimDuration::from_secs(120);
         let (mesh, cluster, _) = citylab_testbed(5, duration + SimDuration::from_secs(30));
         let cfg = SimEnvConfig {
-            policy: SchedulerPolicy::LongestPath,
+            policy: PlacementPolicy::LongestPath,
             ..Default::default()
         };
         let mut env = SimEnv::new(mesh, cluster, catalog::social_network(50.0), cfg);
@@ -144,7 +144,7 @@ fn manifest_roundtrip_through_deployment() {
 
 #[test]
 fn migrations_disabled_is_really_static() {
-    let mut env = camera_env(SchedulerPolicy::LongestPath, false);
+    let mut env = camera_env(PlacementPolicy::LongestPath, false);
     let before = env.placement();
     // Try hard to provoke: cap everything.
     let nodes: Vec<NodeId> = env.cluster().node_ids();

@@ -12,7 +12,7 @@ use bass::appdag::catalog;
 use bass::apps::testbeds::lan_testbed;
 use bass::apps::{ArrivalProcess, SocialNetWorkload};
 use bass::core::migration::MigrationConfig;
-use bass::core::{ControllerConfig, SchedulerPolicy};
+use bass::core::{ControllerConfig, PlacementPolicy};
 use bass::core::StepMode;
 use bass::emu::{Recorder, Scenario, SimEnv, SimEnvConfig};
 use bass::mesh::NodeId;
@@ -45,7 +45,7 @@ fn run_scenario_in(step_mode: StepMode) -> String {
     // threshold, utilization trigger on.
     let cfg = SimEnvConfig {
         step_mode,
-        policy: SchedulerPolicy::LongestPath,
+        policy: PlacementPolicy::LongestPath,
         controller: ControllerConfig {
             migration: MigrationConfig {
                 goodput_threshold: 0.5,
